@@ -1,0 +1,22 @@
+.PHONY: install test bench examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/api_frontend.py
+	python examples/cost_analysis.py
+	python examples/fault_injection.py
+	python examples/burstiness_pull_vs_push.py
+	python examples/queueing_analysis.py
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

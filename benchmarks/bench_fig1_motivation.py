@@ -1,0 +1,110 @@
+"""Figure 1: the motivation experiment.
+
+A 13B model, synthetic workload (input 512 / output 64), one A100.
+*Upper*: P90 TTFT vs rate for an existing colocated system and for a
+prefill-only system. *Lower*: P90 TPOT vs rate for colocated and
+decode-only. The paper's headline: colocated goodput ~1.6 req/s/GPU,
+while 2 prefill GPUs + 1 decode GPU yield ~10 req/s (3.3 per GPU) —
+a ~2.1x per-GPU improvement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_series, slo_attainment, tpot_percentile, ttft_percentile
+from repro.hardware import NVLINK
+from repro.models import get_model
+from repro.serving import (
+    ColocatedSystem,
+    DecodeOnlySystem,
+    DisaggregatedSystem,
+    PrefillOnlySystem,
+    simulate_trace,
+)
+from repro.simulator import InstanceSpec, Simulation
+from repro.workload import SLO, fixed_length_dataset, generate_trace
+
+MODEL = get_model("opt-13b")
+DATASET = fixed_length_dataset(512, 64)
+SLO_FIG1 = SLO(ttft=0.2, tpot=0.1)
+RATES = [0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0, 12.0]
+N = 300
+
+
+def _percentiles(factory, rates):
+    ttfts, tpots, attains = [], [], []
+    for rate in rates:
+        trace = generate_trace(DATASET, rate, N, np.random.default_rng(1))
+        sim = Simulation()
+        res = simulate_trace(factory(sim), trace, max_events=4_000_000)
+        ttfts.append(ttft_percentile(res.records))
+        tpots.append(tpot_percentile(res.records))
+        attains.append(slo_attainment(res.records, SLO_FIG1, num_expected=N).total)
+    return ttfts, tpots, attains
+
+
+def run_figure1():
+    spec = InstanceSpec(model=MODEL)
+    colo = lambda sim: ColocatedSystem(sim, spec)
+    pre = lambda sim: PrefillOnlySystem(sim, spec)
+    dec = lambda sim: DecodeOnlySystem(sim, spec)
+    disagg = lambda sim: DisaggregatedSystem(
+        sim, spec, spec, num_prefill=2, num_decode=1, transfer_link=NVLINK
+    )
+
+    colo_ttft, colo_tpot, colo_att = _percentiles(colo, RATES)
+    pre_ttft, _, _ = _percentiles(pre, RATES)
+    _, dec_tpot, _ = _percentiles(dec, RATES)
+    # Disaggregated 2P+1D serves 3x the per-GPU rate on 3 GPUs.
+    dis_rates = [r * 3 for r in RATES]
+    _, _, dis_att = _percentiles(disagg, dis_rates)
+
+    def goodput(rates, atts):
+        return max([0.0] + [r for r, a in zip(rates, atts) if a >= 0.9])
+
+    colo_goodput = goodput(RATES, colo_att)
+    dis_goodput_per_gpu = goodput(RATES, dis_att)  # dis swept at 3x
+    return {
+        "ttft": (colo_ttft, pre_ttft),
+        "tpot": (colo_tpot, dec_tpot),
+        "colo_goodput": colo_goodput,
+        "disagg_goodput_per_gpu": dis_goodput_per_gpu,
+    }
+
+
+def test_fig1_motivation(benchmark):
+    out = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+    print()
+    print(
+        format_series(
+            "rate(req/s)",
+            RATES,
+            {"colocated P90 TTFT": out["ttft"][0], "prefill-only P90 TTFT": out["ttft"][1]},
+            title="Figure 1 (upper): P90 TTFT vs rate, OPT-13B, 1xA100",
+        )
+    )
+    print()
+    print(
+        format_series(
+            "rate(req/s)",
+            RATES,
+            {"colocated P90 TPOT": out["tpot"][0], "decode-only P90 TPOT": out["tpot"][1]},
+            title="Figure 1 (lower): P90 TPOT vs rate",
+        )
+    )
+    factor = (
+        out["disagg_goodput_per_gpu"] / out["colo_goodput"]
+        if out["colo_goodput"]
+        else float("inf")
+    )
+    print(
+        f"\ncolocated goodput: {out['colo_goodput']:.2f} req/s/GPU | "
+        f"disaggregated (2P+1D): {out['disagg_goodput_per_gpu']:.2f} req/s/GPU | "
+        f"improvement {factor:.2f}x (paper: ~2.1x)"
+    )
+    # Shape assertions: prefill-only beats colocated on TTFT, decode-only
+    # beats colocated on TPOT, disaggregation wins on per-GPU goodput.
+    assert out["ttft"][1][-1] < out["ttft"][0][-1]
+    assert out["tpot"][1][-1] < out["tpot"][0][-1]
+    assert out["disagg_goodput_per_gpu"] > 1.4 * out["colo_goodput"]

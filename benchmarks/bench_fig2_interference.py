@@ -1,0 +1,57 @@
+"""Figure 2: prefill-decoding interference in one batch.
+
+Execution time of a single iteration as batch size grows, comparing a
+decoding-only batch against the same batch plus one prefill request —
+and the slowdown's growth with the prefill's length.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_series
+from repro.hardware import A100_80GB
+from repro.latency import coefficients_from_roofline, mixed_batch_latency
+from repro.models import get_model
+
+MODEL = get_model("opt-13b")
+COEFFS = coefficients_from_roofline(A100_80GB)
+BATCH_SIZES = [1, 2, 4, 8, 16, 32, 64, 128]
+PREFILL_LENS = [128, 512, 1024]
+CONTEXT = 256
+
+
+def run_figure2():
+    decode_only = [
+        mixed_batch_latency(MODEL, COEFFS, [], [CONTEXT] * b) for b in BATCH_SIZES
+    ]
+    with_prefill = {
+        plen: [
+            mixed_batch_latency(MODEL, COEFFS, [plen], [CONTEXT] * b)
+            for b in BATCH_SIZES
+        ]
+        for plen in PREFILL_LENS
+    }
+    return decode_only, with_prefill
+
+
+def test_fig2_interference(benchmark):
+    decode_only, with_prefill = benchmark.pedantic(run_figure2, rounds=3, iterations=1)
+    series = {"decode-only": decode_only}
+    for plen, values in with_prefill.items():
+        series[f"+1 prefill({plen})"] = values
+    print()
+    print(
+        format_series(
+            "batch",
+            BATCH_SIZES,
+            series,
+            title="Figure 2: batch execution time (s), OPT-13B",
+            float_fmt="{:.4f}",
+        )
+    )
+    # Adding one prefill slows every batch size, more for longer prefills,
+    # and the absolute decode-vs-mixed gap does not vanish at large batch.
+    for i, batch in enumerate(BATCH_SIZES):
+        assert with_prefill[128][i] > decode_only[i]
+        assert with_prefill[1024][i] > with_prefill[512][i] > with_prefill[128][i]
+    slowdown_small = with_prefill[1024][0] / decode_only[0]
+    assert slowdown_small > 2.0  # a long prefill dominates a small batch

@@ -1,0 +1,79 @@
+"""Figure 3: phase throughput vs batch size and input length.
+
+*(a)* Prefill throughput (tokens/s) grows with input length until the
+GPU saturates near ``L_m``, after which batching no longer helps.
+*(b)* Decoding throughput keeps growing with batch size — batching is
+the key to decode efficiency.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_series
+from repro.hardware import A100_80GB
+from repro.latency import (
+    coefficients_from_roofline,
+    decode_throughput,
+    prefill_throughput,
+    saturation_length,
+)
+from repro.models import get_model
+
+MODEL = get_model("opt-13b")
+COEFFS = coefficients_from_roofline(A100_80GB)
+INPUT_LENS = [32, 64, 128, 256, 512, 1024, 2048]
+BATCH_SIZES = [1, 2, 4, 8, 16, 32, 64, 128, 256]
+PREFILL_BATCHES = [1, 2, 4, 8]
+
+
+def run_figure3():
+    prefill = {
+        f"batch={b}": [
+            prefill_throughput(MODEL, COEFFS, [length] * b) for length in INPUT_LENS
+        ]
+        for b in PREFILL_BATCHES
+    }
+    decode = {
+        "tokens/s": [
+            decode_throughput(MODEL, COEFFS, [256] * b) for b in BATCH_SIZES
+        ]
+    }
+    return prefill, decode
+
+
+def test_fig3_throughput(benchmark):
+    prefill, decode = benchmark.pedantic(run_figure3, rounds=3, iterations=1)
+    print()
+    print(
+        format_series(
+            "input_len",
+            INPUT_LENS,
+            prefill,
+            title="Figure 3(a): prefill throughput (tokens/s), OPT-13B",
+            float_fmt="{:.0f}",
+        )
+    )
+    print()
+    print(
+        format_series(
+            "batch",
+            BATCH_SIZES,
+            decode,
+            title="Figure 3(b): decoding throughput (tokens/s), OPT-13B",
+            float_fmt="{:.0f}",
+        )
+    )
+    lm = saturation_length(MODEL, COEFFS)
+    print(f"\nprofiled saturation length L_m = {lm} tokens (paper: ~512 for 13B)")
+
+    single = prefill["batch=1"]
+    # (a) throughput rises steeply below saturation...
+    assert single[INPUT_LENS.index(512)] > 2 * single[0]
+    # ...and flattens past it: 2048 within 35% of 512.
+    i512, i2048 = INPUT_LENS.index(512), INPUT_LENS.index(2048)
+    assert abs(single[i2048] - single[i512]) / single[i512] < 0.35
+    # Past saturation, batching does not raise throughput materially.
+    assert prefill["batch=8"][i2048] < 1.2 * single[i2048]
+    # (b) decode throughput keeps scaling with batch.
+    tput = decode["tokens/s"]
+    assert tput[-1] > 20 * tput[0]
+    assert 256 <= lm <= 1024

@@ -1,0 +1,110 @@
+"""Figure 4: prefill-instance parallelism preference (66B on 2 GPUs).
+
+*(a)* Average TTFT vs arrival rate for 2-way inter-op vs 2-way intra-op
+parallelism — intra-op wins at low rates (execution-time dominated),
+inter-op at high rates (queuing dominated). Verified two ways: the
+M/D/1 closed forms (Eq. 1-3) and the discrete-event simulator.
+*(b)* Sensitivity to the intra-op speedup coefficient K.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_series
+from repro.hardware import A100_80GB
+from repro.latency import (
+    ParallelismConfig,
+    coefficients_from_roofline,
+    intra_op_speedup,
+    prefill_times,
+)
+from repro.models import get_model
+from repro.queueing import avg_ttft_inter_op, avg_ttft_intra_op, crossover_rate
+from repro.serving import PrefillOnlySystem, simulate_trace
+from repro.simulator import InstanceSpec, Simulation
+from repro.workload import fixed_length_dataset, generate_trace
+
+MODEL = get_model("opt-66b")
+COEFFS = coefficients_from_roofline(A100_80GB)
+INPUT_LEN = 512
+N = 250
+
+
+def run_figure4():
+    base = prefill_times(MODEL, ParallelismConfig(1, 1), COEFFS, [INPUT_LEN])
+    d = base.request_latency
+    k = intra_op_speedup(MODEL, COEFFS, INPUT_LEN, 2)
+    max_rate = min(k, 2.0) / d
+    rates = [max_rate * f for f in (0.1, 0.3, 0.5, 0.7, 0.85, 0.95)]
+
+    analytic = {
+        "inter-op (M/D/1)": [avg_ttft_inter_op(r, d, 2) for r in rates],
+        "intra-op (M/D/1)": [avg_ttft_intra_op(r, d, k) for r in rates],
+    }
+
+    # DES cross-check with deterministic lengths and Poisson arrivals.
+    dataset = fixed_length_dataset(INPUT_LEN, 1)
+    des = {"inter-op (DES)": [], "intra-op (DES)": []}
+    for name, config in (
+        ("inter-op (DES)", ParallelismConfig(1, 2)),
+        ("intra-op (DES)", ParallelismConfig(2, 1)),
+    ):
+        spec = InstanceSpec(model=MODEL, config=config)
+        for rate in rates:
+            trace = generate_trace(dataset, rate, N, np.random.default_rng(2))
+            sim = Simulation()
+            res = simulate_trace(PrefillOnlySystem(sim, spec), trace, max_events=3_000_000)
+            des[name].append(float(np.mean([rec.ttft for rec in res.records])))
+
+    # (b) varying K.
+    k_values = [1.2, 1.4, 1.6, 1.8, 2.0]
+    k_sweep = {
+        f"K={kv}": [
+            # Intra-op is stable only while R*D < K (utilization < 1).
+            avg_ttft_intra_op(r, d, kv) if r * d < kv * 0.999 else float("nan")
+            for r in rates
+        ]
+        for kv in k_values
+    }
+    return d, k, rates, analytic, des, k_sweep
+
+
+def test_fig4_parallelism(benchmark):
+    d, k, rates, analytic, des, k_sweep = benchmark.pedantic(
+        run_figure4, rounds=1, iterations=1
+    )
+    print(f"\nexecution time D = {d * 1e3:.0f} ms, measured speedup K = {k:.2f}")
+    print(
+        format_series(
+            "rate(req/s)",
+            [round(r, 2) for r in rates],
+            {**analytic, **des},
+            title="Figure 4(a): average TTFT (s), OPT-66B on 2 GPUs",
+        )
+    )
+    print()
+    print(
+        format_series(
+            "rate(req/s)",
+            [round(r, 2) for r in rates],
+            k_sweep,
+            title="Figure 4(b): intra-op average TTFT (s) for varying K",
+        )
+    )
+    rc = crossover_rate(d, k, 2)
+    print(f"\nanalytic crossover rate: {rc:.2f} req/s")
+
+    # Shape: intra wins at the lowest rate, inter at the highest.
+    assert analytic["intra-op (M/D/1)"][0] < analytic["inter-op (M/D/1)"][0]
+    assert analytic["intra-op (M/D/1)"][-1] > analytic["inter-op (M/D/1)"][-1]
+    # DES agrees with the closed form within 25% at low-to-mid load.
+    for name_a, name_d in (
+        ("inter-op (M/D/1)", "inter-op (DES)"),
+        ("intra-op (M/D/1)", "intra-op (DES)"),
+    ):
+        for i in range(3):
+            rel = abs(des[name_d][i] - analytic[name_a][i]) / analytic[name_a][i]
+            assert rel < 0.25, (name_d, i, rel)
+    # Smaller K weakens intra-op (Figure 4b).
+    assert k_sweep["K=1.2"][2] > k_sweep["K=2.0"][2]

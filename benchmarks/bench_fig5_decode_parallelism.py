@@ -1,0 +1,84 @@
+"""Figure 5: decoding latency/throughput under different parallelism.
+
+13B model, batch size 128, input length 256. Intra-op parallelism
+reduces per-step latency with diminishing returns; inter-op parallelism
+scales throughput almost linearly (each stage carries its own
+micro-batch, and KV capacity grows with the GPUs).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.hardware import A100_80GB
+from repro.latency import ParallelismConfig, coefficients_from_roofline, decode_times
+from repro.models import get_model
+from repro.simulator import InstanceSpec
+
+MODEL = get_model("opt-13b")
+COEFFS = coefficients_from_roofline(A100_80GB)
+BATCH = 128
+CONTEXT = 256
+DEGREES = [1, 2, 4, 8]
+
+
+def run_figure5():
+    rows = []
+    for degree in DEGREES:
+        # Intra-op: whole batch, tp-way split.
+        intra = decode_times(
+            MODEL, ParallelismConfig(degree, 1), COEFFS, [CONTEXT] * BATCH
+        )
+        intra_tput = BATCH / intra.request_latency
+        # Inter-op: each stage runs its own 128-request micro-batch, so
+        # the instance sustains degree x BATCH active requests with a
+        # token interval of one pipeline traversal.
+        inter = decode_times(
+            MODEL, ParallelismConfig(1, degree), COEFFS, [CONTEXT] * BATCH
+        )
+        inter_tput = degree * BATCH / inter.request_latency
+        kv_capacity = InstanceSpec(
+            model=MODEL, config=ParallelismConfig(1, degree)
+        ).kv_token_capacity()
+        rows.append(
+            [
+                degree,
+                intra.request_latency * 1e3,
+                intra_tput,
+                inter.request_latency * 1e3,
+                inter_tput,
+                kv_capacity,
+            ]
+        )
+    return rows
+
+
+def test_fig5_decode_parallelism(benchmark):
+    rows = benchmark.pedantic(run_figure5, rounds=3, iterations=1)
+    print()
+    print(
+        format_table(
+            [
+                "degree",
+                "intra latency(ms)",
+                "intra tput(tok/s)",
+                "inter latency(ms)",
+                "inter tput(tok/s)",
+                "inter KV cap(tok)",
+            ],
+            rows,
+            title="Figure 5: decoding under parallelism, OPT-13B, B=128, in=256",
+            float_fmt="{:.0f}",
+        )
+    )
+    lat_intra = [r[1] for r in rows]
+    tput_inter = [r[4] for r in rows]
+    # Intra-op reduces latency but with diminishing returns.
+    assert lat_intra[1] < lat_intra[0]
+    gain_12 = lat_intra[0] / lat_intra[1]
+    gain_48 = lat_intra[2] / lat_intra[3]
+    assert gain_48 < gain_12
+    # Inter-op scales throughput almost linearly (>= 70% efficiency at 8).
+    assert tput_inter[3] > 0.7 * 8 * tput_inter[0]
+    # KV capacity grows with inter-op degree.
+    caps = [r[5] for r in rows]
+    assert caps == sorted(caps) and caps[-1] > 3 * caps[0]

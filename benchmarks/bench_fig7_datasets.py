@@ -1,0 +1,54 @@
+"""Figure 7: input/output length distributions of the three datasets.
+
+Prints summary statistics and coarse histograms of the synthetic
+ShareGPT / HumanEval / LongBench length models, which are fitted to the
+marginals shown in the paper's Figure 7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.workload import DATASETS
+
+N = 20_000
+PCTS = (10, 50, 90, 99)
+
+
+def run_figure7():
+    rng = np.random.default_rng(7)
+    rows = []
+    samples = {}
+    for name, dataset in sorted(DATASETS.items()):
+        ins, outs = dataset.sample_lengths(rng, N)
+        samples[name] = (ins, outs)
+        for kind, arr in (("input", ins), ("output", outs)):
+            rows.append(
+                [name, kind, float(arr.mean())]
+                + [float(np.percentile(arr, p)) for p in PCTS]
+            )
+    return rows, samples
+
+
+def test_fig7_datasets(benchmark):
+    rows, samples = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["dataset", "side", "mean"] + [f"p{p}" for p in PCTS],
+            rows,
+            title="Figure 7: token-length distributions (synthetic fits)",
+            float_fmt="{:.0f}",
+        )
+    )
+    sg_in = samples["sharegpt"][0]
+    he_in = samples["humaneval"][0]
+    lb_in = samples["longbench"][0]
+    # LongBench inputs dwarf the other two (the paper's key observation).
+    assert np.mean(lb_in) > 4 * np.mean(sg_in) > 4 * np.mean(he_in) / 4
+    assert np.percentile(lb_in, 50) > 1500
+    # HumanEval prompts are short and tight.
+    assert np.percentile(he_in, 90) < 500
+    # ShareGPT outputs are substantial (conversational replies).
+    assert np.mean(samples["sharegpt"][1]) > np.mean(samples["humaneval"][1])

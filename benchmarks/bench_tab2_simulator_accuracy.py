@@ -1,0 +1,100 @@
+"""Table 2: simulator accuracy against the (emulated) real system.
+
+The paper validates its discrete-event simulator against testbed runs:
+SLO attainment for vLLM and DistServe-Low at rates 1.0-4.0 req/s, with
+errors under 2%. Our "real system" substitute is the same engine with
+per-batch execution-time jitter enabled (kernel variance, scheduler
+noise) and a different arrival-sample seed — the two noise sources a
+deterministic simulator abstracts away.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis import format_table, slo_attainment
+from repro.hardware import NVLINK
+from repro.latency import ParallelismConfig
+from repro.models import get_model
+from repro.serving import ColocatedSystem, DisaggregatedSystem, simulate_trace
+from repro.simulator import InstanceSpec, Simulation
+from repro.workload import SLO, generate_trace, get_dataset
+
+MODEL = get_model("opt-13b")
+SLO_T2 = SLO(ttft=0.4, tpot=0.1)
+RATES = [1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0]
+N = 400
+JITTER = 0.06  # ~6% kernel/scheduler noise for the emulated testbed
+
+
+def _attainment(factory, rate, seed):
+    dataset = get_dataset("sharegpt")
+    trace = generate_trace(dataset, rate, N, np.random.default_rng(seed))
+    sim = Simulation()
+    res = simulate_trace(factory(sim), trace, max_events=5_000_000)
+    return slo_attainment(res.records, SLO_T2, num_expected=len(trace)).total
+
+
+def run_table2():
+    spec = InstanceSpec(model=MODEL, config=ParallelismConfig(1, 1))
+    spec_real = dataclasses.replace(spec, jitter_sigma=JITTER)
+
+    def vllm(s):
+        def factory(sim):
+            return ColocatedSystem(sim, s)
+
+        return factory
+
+    def dist(s):
+        def factory(sim):
+            return DisaggregatedSystem(
+                sim, s, s, num_prefill=2, num_decode=1, transfer_link=NVLINK
+            )
+
+        return factory
+
+    rows = []
+    for rate in RATES:
+        # The disaggregated unit has 3 GPUs; drive it at 3x the per-GPU
+        # rate so both systems see comparable per-GPU load. The paper
+        # replays the *same* request trace on the testbed and in the
+        # simulator, so both sides share one arrival sample and only the
+        # execution-time jitter differs.
+        row = [rate]
+        for kind in (vllm, dist):
+            driven = rate * (3 if kind is dist else 1)
+            real = _attainment(kind(spec_real), driven, seed=0)
+            sim_att = _attainment(kind(spec), driven, seed=0)
+            row.extend([real, sim_att, abs(real - sim_att)])
+        rows.append(row)
+    return rows
+
+
+def test_tab2_simulator_accuracy(benchmark):
+    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            [
+                "rate (req/s)",
+                "vLLM real",
+                "vLLM sim",
+                "vLLM err",
+                "Dist real",
+                "Dist sim",
+                "Dist err",
+            ],
+            rows,
+            title="Table 2: simulator vs emulated real system (SLO attainment)",
+        )
+    )
+    errors = [max(r[3], r[6]) for r in rows]
+    print(f"\nmax attainment error: {max(errors):.3f} (paper: < 0.02)")
+    # The deterministic simulator tracks the jittered system closely.
+    assert max(errors) < 0.05
+    # Attainment decreases with rate for the colocated system (the
+    # Table 2 trend) — allow small non-monotonic wiggles.
+    vllm_sim = [r[2] for r in rows]
+    assert vllm_sim[0] > vllm_sim[-1]

@@ -1,0 +1,75 @@
+"""Queueing-theory walkthrough of the §3.1 parallelism trade-off.
+
+Computes the execution time D and measured intra-op speedup K for a
+prefill instance, evaluates the paper's Eq. 1-3 across arrival rates,
+finds the intra-op/inter-op crossover, and cross-checks the closed
+forms against the discrete-event simulator.
+
+Run:
+    python examples/queueing_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware import A100_80GB
+from repro.latency import (
+    ParallelismConfig,
+    coefficients_from_roofline,
+    intra_op_speedup,
+    prefill_times,
+)
+from repro.models import get_model
+from repro.queueing import (
+    avg_ttft_inter_op,
+    avg_ttft_intra_op,
+    avg_ttft_single,
+    crossover_rate,
+)
+from repro.serving import PrefillOnlySystem, simulate_trace
+from repro.simulator import InstanceSpec, Simulation
+from repro.workload import fixed_length_dataset, generate_trace
+
+
+def main() -> None:
+    model = get_model("opt-66b")
+    coeffs = coefficients_from_roofline(A100_80GB)
+    input_len = 512
+
+    d = prefill_times(model, ParallelismConfig(1, 1), coeffs, [input_len]).request_latency
+    k = intra_op_speedup(model, coeffs, input_len, tp=2)
+    print(f"{model.name}, {input_len}-token prefill: D = {d * 1e3:.0f} ms, "
+          f"K(tp=2) = {k:.2f}")
+
+    rc = crossover_rate(d, k, degree=2)
+    print(f"intra-op beats inter-op below {rc:.2f} req/s, loses above\n")
+
+    print(f"{'rate':>6} | {'single':>8} | {'inter-op':>8} | {'intra-op':>8} | winner")
+    max_rate = min(k, 2.0) / d
+    for frac in (0.2, 0.4, 0.6, 0.8, 0.95):
+        rate = frac * max_rate
+        single = avg_ttft_single(rate, d) if rate * d < 1 else float("inf")
+        inter = avg_ttft_inter_op(rate, d, 2)
+        intra = avg_ttft_intra_op(rate, d, k)
+        winner = "intra" if intra < inter else "inter"
+        print(f"{rate:6.2f} | {single:8.3f} | {inter:8.3f} | {intra:8.3f} | {winner}")
+
+    # Cross-check one point against the simulator.
+    rate = 0.5 * max_rate
+    dataset = fixed_length_dataset(input_len, 1)
+    for label, config in (("inter-op", ParallelismConfig(1, 2)),
+                          ("intra-op", ParallelismConfig(2, 1))):
+        spec = InstanceSpec(model=model, config=config)
+        trace = generate_trace(dataset, rate, 400, np.random.default_rng(0))
+        sim = Simulation()
+        res = simulate_trace(PrefillOnlySystem(sim, spec), trace)
+        measured = float(np.mean([r.ttft for r in res.records]))
+        predicted = (avg_ttft_inter_op(rate, d, 2) if label == "inter-op"
+                     else avg_ttft_intra_op(rate, d, k))
+        print(f"\nDES check {label} @ {rate:.2f} req/s: "
+              f"simulated {measured:.3f}s vs M/D/1 {predicted:.3f}s")
+
+
+if __name__ == "__main__":
+    main()

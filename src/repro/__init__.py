@@ -1,0 +1,66 @@
+"""repro: a simulation-backed reproduction of DistServe (OSDI 2024).
+
+DistServe disaggregates LLM serving into prefill and decoding instances
+and co-optimizes per-phase parallelism and replication for per-GPU
+goodput. This package provides:
+
+* ``repro.models`` / ``repro.hardware`` — model and cluster descriptions;
+* ``repro.latency`` — the paper's Appendix A analytical latency model;
+* ``repro.queueing`` — the M/D/1 analysis of §3.1 (Eq. 1–3);
+* ``repro.workload`` — synthetic ShareGPT/HumanEval/LongBench workloads;
+* ``repro.simulator`` — the discrete-event cluster simulator;
+* ``repro.serving`` — colocated (vLLM-like) and disaggregated systems;
+* ``repro.core`` — Algorithms 1/2 placement search, goodput optimization,
+  and replanning;
+* ``repro.analysis`` — SLO attainment, percentiles, latency breakdowns.
+
+Quickstart::
+
+    from repro import quickserve
+
+    result = quickserve(model="opt-13b", rate=2.0, num_requests=200)
+    print(result.records[0])
+"""
+
+from __future__ import annotations
+
+from .version import __version__
+
+__all__ = ["__version__", "quickserve"]
+
+
+def quickserve(
+    model: str = "opt-13b",
+    rate: float = 2.0,
+    num_requests: int = 200,
+    dataset: str = "sharegpt",
+    num_prefill: int = 1,
+    num_decode: int = 1,
+    seed: int = 0,
+):
+    """One-call demo: run a small disaggregated deployment on a workload.
+
+    Returns the :class:`~repro.serving.base.SimulationResult` of serving
+    ``num_requests`` requests at ``rate`` req/s with ``num_prefill``
+    prefill and ``num_decode`` decode instances of ``model``.
+    """
+    import numpy as np
+
+    from .models import get_model
+    from .serving import DisaggregatedSystem, simulate_trace
+    from .simulator import InstanceSpec, Simulation
+    from .workload import generate_trace, get_dataset
+
+    arch = get_model(model)
+    spec = InstanceSpec(model=arch)
+    sim = Simulation()
+    system = DisaggregatedSystem(
+        sim, spec, spec, num_prefill=num_prefill, num_decode=num_decode
+    )
+    trace = generate_trace(
+        get_dataset(dataset),
+        rate=rate,
+        num_requests=num_requests,
+        rng=np.random.default_rng(seed),
+    )
+    return simulate_trace(system, trace)

@@ -1,0 +1,23 @@
+"""Analysis: SLO attainment, percentiles, breakdowns, report tables."""
+
+from .breakdown import STAGES, LatencyBreakdown, latency_breakdown
+from .fidelity import FidelityReport, compare_runs
+from .percentiles import cdf_points, latency_summary, tpot_percentile, ttft_percentile
+from .reporting import format_series, format_table
+from .slo import AttainmentReport, slo_attainment
+
+__all__ = [
+    "STAGES",
+    "LatencyBreakdown",
+    "latency_breakdown",
+    "FidelityReport",
+    "compare_runs",
+    "cdf_points",
+    "latency_summary",
+    "tpot_percentile",
+    "ttft_percentile",
+    "format_series",
+    "format_table",
+    "AttainmentReport",
+    "slo_attainment",
+]

@@ -1,0 +1,76 @@
+"""Fidelity metrics: how closely does the simulator track a real system?
+
+Table 2's methodology as a library: given the per-request records of
+two runs over the *same* trace (e.g. the deterministic simulator vs a
+jittered/noisy "real" execution), compute attainment error and
+per-request latency agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .slo import slo_attainment
+from ..simulator.request import RequestRecord
+from ..workload.slos import SLO
+
+__all__ = ["FidelityReport", "compare_runs"]
+
+
+@dataclass(frozen=True)
+class FidelityReport:
+    """Agreement between a reference run and a simulated run.
+
+    Attributes:
+        attainment_error: |attainment(reference) - attainment(simulated)|
+            — the Table 2 statistic.
+        ttft_mean_rel_error: Relative error of mean TTFT.
+        tpot_mean_rel_error: Relative error of mean TPOT.
+        matched_requests: Requests present in both runs.
+    """
+
+    attainment_error: float
+    ttft_mean_rel_error: float
+    tpot_mean_rel_error: float
+    matched_requests: int
+
+
+def compare_runs(
+    reference: "list[RequestRecord]",
+    simulated: "list[RequestRecord]",
+    slo: SLO,
+    num_expected: "int | None" = None,
+) -> FidelityReport:
+    """Compare two runs of the same trace.
+
+    Raises:
+        ValueError: if the runs share no requests.
+    """
+    ref_by_id = {r.request_id: r for r in reference}
+    sim_by_id = {r.request_id: r for r in simulated}
+    common = sorted(set(ref_by_id) & set(sim_by_id))
+    if not common:
+        raise ValueError("the two runs share no request ids")
+
+    att_ref = slo_attainment(reference, slo, num_expected=num_expected).total
+    att_sim = slo_attainment(simulated, slo, num_expected=num_expected).total
+
+    ref_ttft = np.array([ref_by_id[i].ttft for i in common])
+    sim_ttft = np.array([sim_by_id[i].ttft for i in common])
+    ref_tpot = np.array([ref_by_id[i].tpot for i in common])
+    sim_tpot = np.array([sim_by_id[i].tpot for i in common])
+
+    def rel_err(ref: np.ndarray, sim: np.ndarray) -> float:
+        denom = float(ref.mean())
+        if denom == 0:
+            return 0.0 if float(sim.mean()) == 0 else float("inf")
+        return abs(float(sim.mean()) - denom) / denom
+
+    return FidelityReport(
+        attainment_error=abs(att_ref - att_sim),
+        ttft_mean_rel_error=rel_err(ref_ttft, sim_ttft),
+        tpot_mean_rel_error=rel_err(ref_tpot, sim_tpot),
+        matched_requests=len(common),
+    )

@@ -1,0 +1,64 @@
+"""Plain-text table formatting for benchmark output.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; this module renders them as aligned monospace tables without
+third-party dependencies.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    headers: "list[str]",
+    rows: "list[list[object]]",
+    title: "str | None" = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats are formatted with ``float_fmt``; everything else with
+    ``str``. Column widths adapt to content.
+    """
+    rendered: "list[list[str]]" = [list(headers)]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+        rendered.append(
+            [
+                float_fmt.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(rendered[0], widths)))
+    lines.append(sep)
+    for row in rendered[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: "list[object]",
+    series: "dict[str, list[float]]",
+    title: "str | None" = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render one x-column plus named y-series as a table (figure data)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        row: "list[object]" = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[i] if i < len(values) else float("nan"))
+        rows.append(row)
+    return format_table(headers, rows, title=title, float_fmt=float_fmt)

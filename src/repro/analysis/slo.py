@@ -1,0 +1,74 @@
+"""SLO-attainment computation — the paper's primary metric (§6.1).
+
+"Under a specific SLO attainment goal (say, 90%), we are concerned with
+two things: the maximum per-GPU goodput and the minimal SLO the system
+can handle." This module computes attainment (total, TTFT-only, and
+TPOT-only, matching the dotted/dashed curves of Figure 8) from request
+records; the goodput search lives in :mod:`repro.core.goodput`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simulator.request import RequestRecord
+from ..workload.slos import SLO
+
+__all__ = ["AttainmentReport", "slo_attainment"]
+
+
+@dataclass(frozen=True)
+class AttainmentReport:
+    """Fractions of requests meeting the latency objectives.
+
+    Attributes:
+        total: Fraction meeting *both* TTFT and TPOT SLOs.
+        ttft_only: Fraction meeting the TTFT SLO (regardless of TPOT) —
+            the dotted curve in Figure 8.
+        tpot_only: Fraction meeting the TPOT SLO — the dashed curve.
+        num_requests: Records evaluated (unfinished requests count as
+            violations when ``num_expected`` exceeds it).
+    """
+
+    total: float
+    ttft_only: float
+    tpot_only: float
+    num_requests: int
+
+    def __post_init__(self) -> None:
+        for name in ("total", "ttft_only", "tpot_only"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def slo_attainment(
+    records: "list[RequestRecord]",
+    slo: SLO,
+    num_expected: "int | None" = None,
+) -> AttainmentReport:
+    """Compute SLO attainment over a set of request records.
+
+    Args:
+        records: Finished-request records.
+        slo: The TTFT/TPOT objectives.
+        num_expected: Total requests offered; any shortfall (requests
+            that never finished) is counted as violating both SLOs —
+            a stalled system must not score well.
+    """
+    denom = num_expected if num_expected is not None else len(records)
+    if denom < len(records):
+        raise ValueError(
+            f"num_expected {denom} < number of records {len(records)}"
+        )
+    if denom == 0:
+        return AttainmentReport(1.0, 1.0, 1.0, 0)
+    both = sum(1 for r in records if r.ttft <= slo.ttft and r.tpot <= slo.tpot)
+    ttft = sum(1 for r in records if r.ttft <= slo.ttft)
+    tpot = sum(1 for r in records if r.tpot <= slo.tpot)
+    return AttainmentReport(
+        total=both / denom,
+        ttft_only=ttft / denom,
+        tpot_only=tpot / denom,
+        num_requests=len(records),
+    )

@@ -1,0 +1,169 @@
+"""Command-line interface: plan placements, serve traces, inspect models.
+
+Mirrors the operational surface of the original system's tooling::
+
+    python -m repro.cli models
+    python -m repro.cli plan --model opt-13b --application chatbot
+    python -m repro.cli serve --model opt-13b --rate 3.0 --requests 300
+    python -m repro.cli analyze --model opt-66b --input-len 512
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis import latency_summary, slo_attainment
+from .core import PlacementSearchStats, build_system, place_high_affinity, place_low_affinity
+from .hardware import get_gpu, paper_testbed
+from .latency import (
+    ParallelismConfig,
+    coefficients_from_roofline,
+    intra_op_speedup,
+    prefill_times,
+    saturation_length,
+)
+from .models import get_model, list_models
+from .serving import DisaggregatedSystem, simulate_trace
+from .simulator import InstanceSpec, Simulation
+from .workload import SLO, generate_trace, get_dataset, get_workload
+
+__all__ = ["main"]
+
+
+def _cmd_models(_args: argparse.Namespace) -> int:
+    for name in list_models():
+        model = get_model(name)
+        print(f"{name:12s} {model.num_params / 1e9:7.1f}B params  "
+              f"{model.weight_bytes / 1e9:7.1f} GB fp16  "
+              f"{model.num_layers:3d} layers  h={model.hidden_size}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    workload = get_workload(args.application, args.model)
+    model = get_model(args.model)
+    dataset = get_dataset(workload.dataset_name)
+    cluster = paper_testbed()
+    stats = PlacementSearchStats()
+    search = place_high_affinity if args.high_affinity else place_low_affinity
+    kwargs = {} if args.high_affinity else {"joint_sim_candidates": args.candidates}
+    placement = search(
+        model, cluster, dataset, workload.slo,
+        traffic_rate=args.traffic or None,
+        num_requests=args.trial_requests,
+        stats=stats,
+        **kwargs,
+    )
+    print(placement.describe())
+    print(f"(searched {stats.configs_evaluated} configs, "
+          f"{stats.simulation_trials} simulation trials)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    prefill_spec = InstanceSpec(
+        model=model, config=ParallelismConfig(args.prefill_tp, args.prefill_pp)
+    )
+    decode_spec = InstanceSpec(
+        model=model, config=ParallelismConfig(args.decode_tp, args.decode_pp)
+    )
+    sim = Simulation()
+    system = DisaggregatedSystem(
+        sim, prefill_spec, decode_spec,
+        num_prefill=args.num_prefill, num_decode=args.num_decode,
+    )
+    trace = generate_trace(
+        get_dataset(args.dataset), rate=args.rate, num_requests=args.requests,
+        rng=np.random.default_rng(args.seed),
+    )
+    result = simulate_trace(system, trace)
+    print(f"{result.completed}/{len(trace)} requests on {result.num_gpus} GPUs "
+          f"in {result.sim_time:.1f}s simulated")
+    summary = latency_summary(result.records)
+    print(f"TTFT p50/p90/p99: {summary['ttft_p50']:.3f} / "
+          f"{summary['ttft_p90']:.3f} / {summary['ttft_p99']:.3f} s")
+    print(f"TPOT p50/p90/p99: {summary['tpot_p50']:.4f} / "
+          f"{summary['tpot_p90']:.4f} / {summary['tpot_p99']:.4f} s")
+    if args.ttft and args.tpot:
+        slo = SLO(ttft=args.ttft, tpot=args.tpot)
+        report = slo_attainment(result.records, slo, num_expected=len(trace))
+        print(f"SLO attainment: {report.total:.1%}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    gpu = get_gpu(args.gpu)
+    coeffs = coefficients_from_roofline(gpu)
+    print(f"{model.name} on {gpu.name}")
+    print(f"  saturation length L_m: {saturation_length(model, coeffs)} tokens")
+    for tp in (1, 2, 4, 8):
+        if model.num_heads % tp:
+            continue
+        times = prefill_times(
+            model, ParallelismConfig(tp, 1), coeffs, [args.input_len]
+        )
+        k = intra_op_speedup(model, coeffs, args.input_len, tp) if tp > 1 else 1.0
+        print(f"  prefill({args.input_len} tok) tp={tp}: "
+              f"{times.request_latency * 1e3:7.1f} ms  (K = {k:.2f})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DistServe reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list known model architectures")
+
+    plan = sub.add_parser("plan", help="search a goodput-optimal placement")
+    plan.add_argument("--model", default="opt-13b")
+    plan.add_argument("--application", default="chatbot")
+    plan.add_argument("--traffic", type=float, default=0.0,
+                      help="target rate (req/s); 0 sizes one deployment unit")
+    plan.add_argument("--high-affinity", action="store_true",
+                      help="use Algorithm 1 (fast cross-node fabric)")
+    plan.add_argument("--candidates", type=int, default=3)
+    plan.add_argument("--trial-requests", type=int, default=150)
+
+    serve = sub.add_parser("serve", help="simulate serving a trace")
+    serve.add_argument("--model", default="opt-13b")
+    serve.add_argument("--dataset", default="sharegpt")
+    serve.add_argument("--rate", type=float, default=2.0)
+    serve.add_argument("--requests", type=int, default=300)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--num-prefill", type=int, default=1)
+    serve.add_argument("--num-decode", type=int, default=1)
+    serve.add_argument("--prefill-tp", type=int, default=1)
+    serve.add_argument("--prefill-pp", type=int, default=1)
+    serve.add_argument("--decode-tp", type=int, default=1)
+    serve.add_argument("--decode-pp", type=int, default=1)
+    serve.add_argument("--ttft", type=float, default=0.0)
+    serve.add_argument("--tpot", type=float, default=0.0)
+
+    analyze = sub.add_parser("analyze", help="latency-model analysis of a model")
+    analyze.add_argument("--model", default="opt-13b")
+    analyze.add_argument("--gpu", default="a100-80gb")
+    analyze.add_argument("--input-len", type=int, default=512)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "models": _cmd_models,
+        "plan": _cmd_plan,
+        "serve": _cmd_serve,
+        "analyze": _cmd_analyze,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

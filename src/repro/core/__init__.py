@@ -1,0 +1,37 @@
+"""DistServe's core contribution: goodput-optimal placement search."""
+
+from .config import PhasePlan, Placement
+from .cost import CostModel, compare_cost, cost_per_request
+from .deploy import build_system
+from .goodput import GoodputResult, attainment_at_rate, max_goodput, min_slo_scale
+from .placement_high import PlacementSearchStats, place_high_affinity
+from .placement_low import IntraNodeConfig, get_intra_node_configs, place_low_affinity
+from .replan import DriftThresholds, ReplanController, WorkloadProfiler
+from .simulate import candidate_configs, simu_decode, simu_prefill
+from .validate import ValidationReport, validate_placement
+
+__all__ = [
+    "PhasePlan",
+    "CostModel",
+    "compare_cost",
+    "cost_per_request",
+    "Placement",
+    "build_system",
+    "GoodputResult",
+    "attainment_at_rate",
+    "max_goodput",
+    "min_slo_scale",
+    "PlacementSearchStats",
+    "place_high_affinity",
+    "IntraNodeConfig",
+    "get_intra_node_configs",
+    "place_low_affinity",
+    "DriftThresholds",
+    "ReplanController",
+    "WorkloadProfiler",
+    "candidate_configs",
+    "simu_decode",
+    "simu_prefill",
+    "ValidationReport",
+    "validate_placement",
+]

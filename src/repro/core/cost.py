@@ -1,0 +1,82 @@
+"""Cost modeling: from per-GPU goodput to cost per request.
+
+The paper's bottom line is economic: "higher per-GPU goodput directly
+translates into lower cost per query" (§1), and the abstract claims
+"up to 4.48x lower cost per LLM query with guaranteed satisfaction of
+SLOs". This module makes the conversion explicit so placements can be
+compared in dollars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import Placement
+
+__all__ = ["CostModel", "cost_per_request", "compare_cost"]
+
+#: On-demand A100-80GB price in the paper's era, $/GPU-hour (order of
+#: magnitude; override per deployment).
+DEFAULT_GPU_HOURLY_USD = 2.0
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Pricing assumptions.
+
+    Attributes:
+        gpu_hourly_usd: Price of one GPU for one hour.
+        utilization_target: Fraction of provisioned capacity actually
+            carrying traffic (provisioning for peaks leaves headroom).
+    """
+
+    gpu_hourly_usd: float = DEFAULT_GPU_HOURLY_USD
+    utilization_target: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.gpu_hourly_usd <= 0:
+            raise ValueError(f"gpu_hourly_usd must be positive, got {self.gpu_hourly_usd}")
+        if not 0 < self.utilization_target <= 1:
+            raise ValueError(
+                f"utilization_target must be in (0, 1], got {self.utilization_target}"
+            )
+
+
+def cost_per_request(
+    per_gpu_goodput: float, model: "CostModel | None" = None
+) -> float:
+    """Dollars per served request at a given per-GPU goodput.
+
+    ``$/req = $/GPU-hour / (goodput * utilization * 3600 s)``.
+
+    Raises:
+        ValueError: if goodput is not positive (an unattainable SLO has
+        infinite cost; surface that explicitly instead of dividing).
+    """
+    if per_gpu_goodput <= 0:
+        raise ValueError(
+            f"per_gpu_goodput must be positive, got {per_gpu_goodput}"
+        )
+    m = model or CostModel()
+    requests_per_gpu_hour = per_gpu_goodput * m.utilization_target * 3600.0
+    return m.gpu_hourly_usd / requests_per_gpu_hour
+
+
+def compare_cost(
+    placement: Placement,
+    baseline_per_gpu_goodput: float,
+    model: "CostModel | None" = None,
+) -> "dict[str, float]":
+    """Cost comparison of a placement against a baseline goodput.
+
+    Returns a dict with ``placement_cost``, ``baseline_cost`` (both
+    $/request) and ``savings_factor`` (baseline / placement — the
+    paper's "X-times lower cost per query").
+    """
+    placement_cost = cost_per_request(placement.per_gpu_goodput, model)
+    baseline_cost = cost_per_request(baseline_per_gpu_goodput, model)
+    return {
+        "placement_cost": placement_cost,
+        "baseline_cost": baseline_cost,
+        "savings_factor": baseline_cost / placement_cost,
+    }

@@ -1,0 +1,195 @@
+"""Goodput search: the maximum rate a system sustains at an SLO target.
+
+"DistServe simply enumerates the placements via binary search and finds
+the maximum rate that meets the SLO attainment target with simulation
+trials" (§4.1). :func:`max_goodput` implements that search for any
+system factory: double the rate until attainment drops below target,
+then bisect to the requested resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..analysis.slo import slo_attainment
+from ..serving.base import ServingSystem, simulate_trace
+from ..simulator.events import Simulation
+from ..workload.datasets import SyntheticDataset, generate_trace
+from ..workload.slos import SLO
+
+__all__ = ["GoodputResult", "max_goodput", "attainment_at_rate", "min_slo_scale"]
+
+#: Hard ceiling on event count per trial, guarding unstable configurations.
+MAX_EVENTS_PER_TRIAL = 5_000_000
+
+
+@dataclass(frozen=True)
+class GoodputResult:
+    """Outcome of a goodput search.
+
+    Attributes:
+        goodput: Max sustainable rate, req/s (0.0 if even the lowest
+            probed rate misses the target).
+        attainment_at_goodput: Measured attainment at that rate.
+        trials: Simulation trials executed.
+    """
+
+    goodput: float
+    attainment_at_goodput: float
+    trials: int
+
+
+def attainment_at_rate(
+    system_factory: "Callable[[Simulation], ServingSystem]",
+    dataset: SyntheticDataset,
+    rate: float,
+    slo: SLO,
+    num_requests: int = 300,
+    seed: int = 0,
+    min_duration: float = 20.0,
+) -> float:
+    """Simulate one trial and return total SLO attainment.
+
+    Requests that never finish count as violations, so an overloaded
+    system scores low rather than hanging the search. The trace is
+    lengthened so it spans at least ``min_duration`` seconds of arrivals:
+    a short burst at a high rate drains from an empty system without ever
+    exposing steady-state queuing, which would make capacity look
+    unbounded.
+    """
+    rng = np.random.default_rng(seed)
+    n = max(num_requests, int(rate * min_duration))
+    trace = generate_trace(dataset, rate=rate, num_requests=n, rng=rng)
+    sim = Simulation()
+    system = system_factory(sim)
+    result = simulate_trace(system, trace, max_events=MAX_EVENTS_PER_TRIAL)
+    report = slo_attainment(result.records, slo, num_expected=len(trace))
+    return report.total
+
+
+def max_goodput(
+    system_factory: "Callable[[Simulation], ServingSystem]",
+    dataset: SyntheticDataset,
+    slo: SLO,
+    attainment_target: float = 0.9,
+    num_requests: int = 300,
+    seed: int = 0,
+    rate_lo: float = 0.05,
+    rate_hi_cap: float = 512.0,
+    resolution: float = 0.02,
+    min_duration: float = 20.0,
+) -> GoodputResult:
+    """Binary-search the maximum rate meeting the attainment target.
+
+    Args:
+        system_factory: Builds a fresh system for each trial (systems hold
+            per-simulation state and cannot be reused).
+        dataset: Workload length distributions.
+        slo: TTFT/TPOT objectives.
+        attainment_target: Required fraction of requests meeting both SLOs.
+        num_requests: Trace length per trial.
+        seed: Trace RNG seed — fixed across trials so rate is the only
+            variable.
+        rate_lo: Lowest rate probed.
+        rate_hi_cap: Upper bound on the doubling phase.
+        resolution: Relative bisection resolution.
+    """
+    if not 0.0 < attainment_target <= 1.0:
+        raise ValueError(f"attainment_target must be in (0, 1], got {attainment_target}")
+    if rate_lo <= 0:
+        raise ValueError(f"rate_lo must be positive, got {rate_lo}")
+
+    trials = 0
+
+    def attain(rate: float) -> float:
+        nonlocal trials
+        trials += 1
+        return attainment_at_rate(
+            system_factory, dataset, rate, slo,
+            num_requests=num_requests, seed=seed, min_duration=min_duration,
+        )
+
+    lo_att = attain(rate_lo)
+    if lo_att < attainment_target:
+        return GoodputResult(goodput=0.0, attainment_at_goodput=lo_att, trials=trials)
+
+    # Exponential expansion: find the first failing rate.
+    lo, hi = rate_lo, rate_lo
+    lo_att_best = lo_att
+    while hi < rate_hi_cap:
+        hi = min(lo * 2.0, rate_hi_cap)
+        att = attain(hi)
+        if att < attainment_target:
+            break
+        lo, lo_att_best = hi, att
+        if hi >= rate_hi_cap:
+            return GoodputResult(
+                goodput=rate_hi_cap, attainment_at_goodput=att, trials=trials
+            )
+
+    # Bisection between the last passing and first failing rates.
+    while hi - lo > resolution * max(lo, 1.0):
+        mid = (lo + hi) / 2.0
+        att = attain(mid)
+        if att >= attainment_target:
+            lo, lo_att_best = mid, att
+        else:
+            hi = mid
+    return GoodputResult(goodput=lo, attainment_at_goodput=lo_att_best, trials=trials)
+
+
+def min_slo_scale(
+    system_factory: "Callable[[Simulation], ServingSystem]",
+    dataset: SyntheticDataset,
+    base_slo: SLO,
+    rate: float,
+    attainment_target: float = 0.9,
+    num_requests: int = 300,
+    seed: int = 0,
+    scale_lo: float = 0.05,
+    scale_hi: float = 4.0,
+    resolution: float = 0.02,
+    min_duration: float = 20.0,
+) -> "tuple[float, int]":
+    """The most stringent SLO scale a system withstands at a fixed rate.
+
+    Figure 8's second row: both of ``base_slo``'s bounds are multiplied
+    by a scale factor and the system must keep ``attainment_target``.
+    Smaller is better ("DistServe can achieve 1.4x-1.8x more stringent
+    SLO than vLLM", §6.2).
+
+    Returns:
+        ``(scale, trials)`` — the minimal passing scale (``inf`` if even
+        ``scale_hi`` fails; ``scale_lo`` if everything passes).
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if not 0 < scale_lo < scale_hi:
+        raise ValueError(f"need 0 < scale_lo < scale_hi, got {scale_lo}, {scale_hi}")
+
+    trials = 0
+
+    def passes(scale: float) -> bool:
+        nonlocal trials
+        trials += 1
+        att = attainment_at_rate(
+            system_factory, dataset, rate, base_slo.scaled(scale),
+            num_requests=num_requests, seed=seed, min_duration=min_duration,
+        )
+        return att >= attainment_target
+
+    if not passes(scale_hi):
+        return float("inf"), trials
+    if passes(scale_lo):
+        return scale_lo, trials
+    lo, hi = scale_lo, scale_hi  # lo fails, hi passes
+    while hi - lo > resolution * hi:
+        mid = (lo + hi) / 2.0
+        if passes(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi, trials

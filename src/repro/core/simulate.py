@@ -1,0 +1,98 @@
+"""Phase-level goodput estimation: ``simu_prefill`` and ``simu_decode``.
+
+Algorithm 1 evaluates each candidate parallel configuration by
+simulating the prefill phase and decoding phase *independently*
+(``simu_prefill`` / ``simu_decode`` in the paper's pseudocode). A phase
+passes its SLO alone — TTFT for prefill, TPOT for decoding — with an
+effectively unconstrained partner metric.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from .goodput import GoodputResult, max_goodput
+from ..latency.parallel import ParallelismConfig
+from ..serving.phase_only import DecodeOnlySystem, PrefillOnlySystem
+from ..simulator.events import Simulation
+from ..simulator.instance import InstanceSpec
+from ..workload.datasets import SyntheticDataset
+from ..workload.slos import SLO
+
+__all__ = ["simu_prefill", "simu_decode"]
+
+#: A bound so loose it never binds — used to isolate one phase's SLO.
+_UNBOUNDED = 1e9
+
+
+def _prefill_factory(spec: InstanceSpec, sim: Simulation) -> PrefillOnlySystem:
+    return PrefillOnlySystem(sim, spec)
+
+
+def _decode_factory(spec: InstanceSpec, sim: Simulation) -> DecodeOnlySystem:
+    return DecodeOnlySystem(sim, spec)
+
+
+def simu_prefill(
+    spec: InstanceSpec,
+    dataset: SyntheticDataset,
+    slo: SLO,
+    attainment_target: float = 0.9,
+    num_requests: int = 300,
+    seed: int = 0,
+) -> GoodputResult:
+    """Max rate one prefill instance sustains under the TTFT SLO alone."""
+    phase_slo = SLO(ttft=slo.ttft, tpot=_UNBOUNDED)
+    return max_goodput(
+        partial(_prefill_factory, spec),
+        dataset,
+        phase_slo,
+        attainment_target=attainment_target,
+        num_requests=num_requests,
+        seed=seed,
+        min_duration=45.0,
+    )
+
+
+def simu_decode(
+    spec: InstanceSpec,
+    dataset: SyntheticDataset,
+    slo: SLO,
+    attainment_target: float = 0.9,
+    num_requests: int = 300,
+    seed: int = 0,
+) -> GoodputResult:
+    """Max rate one decode instance sustains under the TPOT SLO alone."""
+    phase_slo = SLO(ttft=_UNBOUNDED, tpot=slo.tpot)
+    return max_goodput(
+        partial(_decode_factory, spec),
+        dataset,
+        phase_slo,
+        attainment_target=attainment_target,
+        num_requests=num_requests,
+        seed=seed,
+        min_duration=45.0,
+    )
+
+
+def candidate_configs(
+    model_heads: int,
+    model_layers: int,
+    max_tp: int,
+    max_gpus: int,
+) -> "list[ParallelismConfig]":
+    """All (tp, pp) pairs valid for the model within the GPU budget.
+
+    TP degrees must divide the head count; PP degrees cannot exceed the
+    layer count. This is the enumeration loop of Algorithms 1 and 2.
+    """
+    configs = []
+    for tp in range(1, max_tp + 1):
+        if model_heads % tp != 0:
+            continue
+        max_pp = max_gpus // tp
+        for pp in range(1, max_pp + 1):
+            if pp > model_layers:
+                break
+            configs.append(ParallelismConfig(tp=tp, pp=pp))
+    return configs

@@ -1,0 +1,118 @@
+"""Placement validation: does a plan actually fit the target cluster?
+
+The placement algorithms size deployments against per-instance
+constraints; before deploying (or replicating for traffic), operators
+need the cluster-level checks: total GPU budget, per-node packing for
+stage-colocated placements, and weight-memory feasibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .config import Placement
+from ..hardware.cluster import Cluster
+from ..models.architecture import ModelArchitecture
+from ..models.memory import fits_in_memory
+
+__all__ = ["ValidationReport", "validate_placement"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating a placement against a cluster.
+
+    Attributes:
+        ok: True when no errors were found.
+        errors: Hard violations (deployment impossible).
+        warnings: Soft issues (deployment possible but suspicious).
+    """
+
+    errors: "list[str]" = field(default_factory=list)
+    warnings: "list[str]" = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def summary(self) -> str:
+        lines = ["OK" if self.ok else "INVALID"]
+        lines += [f"error: {e}" for e in self.errors]
+        lines += [f"warning: {w}" for w in self.warnings]
+        return "\n".join(lines)
+
+
+def validate_placement(
+    placement: Placement,
+    model: ModelArchitecture,
+    cluster: Cluster,
+) -> ValidationReport:
+    """Check a placement against a cluster's physical constraints."""
+    report = ValidationReport()
+
+    # 1. Total GPU budget.
+    if placement.num_gpus > cluster.num_gpus:
+        report.errors.append(
+            f"placement needs {placement.num_gpus} GPUs, cluster has "
+            f"{cluster.num_gpus}"
+        )
+
+    # 2. Per-phase memory feasibility.
+    for label, plan in (("prefill", placement.prefill), ("decode", placement.decode)):
+        if not plan.config.is_valid_for(model):
+            report.errors.append(
+                f"{label} config {plan.config} cannot partition {model.name}"
+            )
+            continue
+        if not fits_in_memory(
+            model, cluster.gpu.memory_bytes, plan.config.tp, plan.config.pp
+        ):
+            report.errors.append(
+                f"{label} weights do not fit: {model.name} needs "
+                f"{model.weight_bytes / plan.config.num_gpus / 1e9:.1f} GB/GPU "
+                f"under {plan.config}, capacity is "
+                f"{cluster.gpu.memory_bytes / 1e9:.1f} GB"
+            )
+
+    # 3. TP groups must not straddle nodes (all-reduce needs NVLink).
+    for label, plan in (("prefill", placement.prefill), ("decode", placement.decode)):
+        if plan.config.tp > cluster.gpus_per_node:
+            report.errors.append(
+                f"{label} tp={plan.config.tp} exceeds the {cluster.gpus_per_node}"
+                f"-GPU node (tensor parallelism cannot straddle nodes)"
+            )
+
+    # 4. Stage-colocated placements must pack a prefill and a decode
+    # segment of the same stage into one node (§4.2).
+    if placement.kv_transfer_intra_node:
+        per_node = placement.prefill.config.tp + placement.decode.config.tp
+        if per_node > cluster.gpus_per_node:
+            report.errors.append(
+                f"stage colocation needs {per_node} GPUs/node "
+                f"(prefill tp {placement.prefill.config.tp} + decode tp "
+                f"{placement.decode.config.tp}), node has {cluster.gpus_per_node}"
+            )
+        if placement.prefill.config.pp != placement.decode.config.pp:
+            report.warnings.append(
+                "stage-colocated placement with mismatched inter-op degrees "
+                f"(prefill pp={placement.prefill.config.pp}, decode "
+                f"pp={placement.decode.config.pp}): corresponding-stage "
+                "transfers cannot be fully aligned"
+            )
+    elif not cluster.has_fast_cross_node:
+        report.warnings.append(
+            "placement routes KV transfers cross-node but the cluster fabric "
+            f"is {cluster.cross_node_link.name}; expect transfer queuing "
+            "(consider place_low_affinity)"
+        )
+
+    # 5. Phase imbalance is legal but worth surfacing.
+    if placement.decode.total_goodput > 0 and placement.prefill.total_goodput > 0:
+        ratio = placement.prefill.total_goodput / placement.decode.total_goodput
+        if ratio > 2.0 or ratio < 0.5:
+            report.warnings.append(
+                f"phase goodputs differ {ratio:.1f}x; the slower phase caps "
+                "the system and the faster one idles"
+            )
+
+    return report

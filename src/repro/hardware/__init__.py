@@ -1,0 +1,36 @@
+"""Hardware model: GPUs, interconnects, cluster topology."""
+
+from .cluster import Cluster, GPUId, Node, high_affinity_cluster, paper_testbed
+from .gpu import A100_40GB, A100_80GB, GPU_REGISTRY, H100_80GB, GPUSpec, get_gpu
+from .network import (
+    ETHERNET_25G,
+    INFINIBAND_200G,
+    INFINIBAND_800G,
+    LOOPBACK,
+    NVLINK,
+    LinkType,
+    NetworkLink,
+    transfer_time,
+)
+
+__all__ = [
+    "Cluster",
+    "GPUId",
+    "Node",
+    "high_affinity_cluster",
+    "paper_testbed",
+    "A100_40GB",
+    "A100_80GB",
+    "H100_80GB",
+    "GPU_REGISTRY",
+    "GPUSpec",
+    "get_gpu",
+    "ETHERNET_25G",
+    "INFINIBAND_200G",
+    "INFINIBAND_800G",
+    "LOOPBACK",
+    "NVLINK",
+    "LinkType",
+    "NetworkLink",
+    "transfer_time",
+]

@@ -1,0 +1,134 @@
+"""Cluster topology: GPUs grouped into nodes, nodes joined by a fabric.
+
+Placement algorithms need to know (a) how many GPUs fit in one node
+(``M`` in Algorithms 1/2), (b) which pairs of GPUs share NVLink, and
+(c) the cross-node bandwidth that decides whether the high- or
+low-node-affinity algorithm applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .gpu import A100_80GB, GPUSpec
+from .network import ETHERNET_25G, INFINIBAND_800G, LOOPBACK, NVLINK, LinkType, NetworkLink
+
+__all__ = ["GPUId", "Node", "Cluster", "paper_testbed", "high_affinity_cluster"]
+
+
+@dataclass(frozen=True, order=True)
+class GPUId:
+    """Globally unique GPU address: (node index, local GPU index)."""
+
+    node: int
+    local: int
+
+    def __post_init__(self) -> None:
+        if self.node < 0 or self.local < 0:
+            raise ValueError("GPU indices must be non-negative")
+
+
+@dataclass(frozen=True)
+class Node:
+    """A server hosting ``num_gpus`` identical GPUs joined by NVLink."""
+
+    index: int
+    num_gpus: int
+    gpu: GPUSpec = A100_80GB
+
+    def __post_init__(self) -> None:
+        if self.num_gpus <= 0:
+            raise ValueError(f"num_gpus must be positive, got {self.num_gpus}")
+
+    def gpu_ids(self) -> "list[GPUId]":
+        """All GPU addresses on this node."""
+        return [GPUId(self.index, i) for i in range(self.num_gpus)]
+
+
+@dataclass
+class Cluster:
+    """A homogeneous GPU cluster.
+
+    Attributes:
+        nodes: Member nodes (identical GPU counts assumed by the placement
+            algorithms, matching the paper's testbed).
+        intra_node_link: NVLink-class link within a node.
+        cross_node_link: Fabric between nodes.
+    """
+
+    nodes: "list[Node]"
+    intra_node_link: NetworkLink = NVLINK
+    cross_node_link: NetworkLink = ETHERNET_25G
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("cluster must contain at least one node")
+        sizes = {n.num_gpus for n in self.nodes}
+        if len(sizes) != 1:
+            raise ValueError("heterogeneous node sizes are not supported")
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def gpus_per_node(self) -> int:
+        """``M`` in Algorithms 1 and 2."""
+        return self.nodes[0].num_gpus
+
+    @property
+    def num_gpus(self) -> int:
+        return sum(n.num_gpus for n in self.nodes)
+
+    @property
+    def gpu(self) -> GPUSpec:
+        """The (homogeneous) GPU spec."""
+        return self.nodes[0].gpu
+
+    def all_gpu_ids(self) -> "list[GPUId]":
+        return [g for n in self.nodes for g in n.gpu_ids()]
+
+    def link_type(self, a: GPUId, b: GPUId) -> LinkType:
+        """Classify the interconnect between two GPUs."""
+        if a == b:
+            return LinkType.SAME_GPU
+        if a.node == b.node:
+            return LinkType.NVLINK
+        return LinkType.CROSS_NODE
+
+    def link_between(self, a: GPUId, b: GPUId) -> NetworkLink:
+        """The link a transfer between ``a`` and ``b`` traverses."""
+        kind = self.link_type(a, b)
+        if kind is LinkType.SAME_GPU:
+            return LOOPBACK
+        if kind is LinkType.NVLINK:
+            return self.intra_node_link
+        return self.cross_node_link
+
+    @property
+    def has_fast_cross_node(self) -> bool:
+        """True when cross-node bandwidth makes KV transfer negligible.
+
+        §3.3 estimates ~90 Gbps (11.3 GB/s) suffices at 10 req/s for
+        OPT-66B; we use that as the threshold separating the high- from the
+        low-node-affinity placement regime.
+        """
+        return self.cross_node_link.bandwidth >= 11.3e9
+
+
+def paper_testbed() -> Cluster:
+    """The paper's evaluation cluster: 4 nodes x 8 A100-80GB, 25 Gbps fabric."""
+    return Cluster(
+        nodes=[Node(index=i, num_gpus=8) for i in range(4)],
+        intra_node_link=NVLINK,
+        cross_node_link=ETHERNET_25G,
+    )
+
+
+def high_affinity_cluster(num_nodes: int = 4, gpus_per_node: int = 8) -> Cluster:
+    """An InfiniBand cluster where Algorithm 1 applies (§4.1)."""
+    return Cluster(
+        nodes=[Node(index=i, num_gpus=gpus_per_node) for i in range(num_nodes)],
+        intra_node_link=NVLINK,
+        cross_node_link=INFINIBAND_800G,
+    )

@@ -1,0 +1,100 @@
+"""GPU device specifications.
+
+The latency model needs two roofline quantities per device: peak dense
+FP16 throughput (FLOP/s) and HBM bandwidth (bytes/s). The compute-bound /
+memory-bound crossover of Appendix A ("on A100-80GB it is compute-bound
+when arithmetic intensity exceeds 156") falls directly out of their ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUSpec", "A100_80GB", "A100_40GB", "H100_80GB", "GPU_REGISTRY", "get_gpu"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPU device.
+
+    Attributes:
+        name: Device identifier, e.g. ``"a100-80gb"``.
+        memory_bytes: HBM capacity.
+        peak_flops: Peak dense FP16 tensor throughput, FLOP/s.
+        memory_bandwidth: HBM bandwidth, bytes/s.
+        nvlink_bandwidth: Per-direction NVLink bandwidth to peers in the
+            same node, bytes/s.
+        mfu: Attainable fraction of peak FLOPs for large GEMMs (model
+            FLOPs utilization); real kernels never reach 100%. Defaults
+            are calibrated to the serving-engine efficiency of the
+            paper's testbed (2023-era vLLM kernels), which Table 2 /
+            Figure 1 absolute latencies reflect.
+        mbu: Attainable fraction of peak memory bandwidth.
+    """
+
+    name: str
+    memory_bytes: int
+    peak_flops: float
+    memory_bandwidth: float
+    nvlink_bandwidth: float
+    mfu: float = 0.50
+    mbu: float = 0.40
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0 or self.peak_flops <= 0 or self.memory_bandwidth <= 0:
+            raise ValueError("GPU capacities must be positive")
+        if not 0 < self.mfu <= 1 or not 0 < self.mbu <= 1:
+            raise ValueError("mfu and mbu must be in (0, 1]")
+
+    @property
+    def effective_flops(self) -> float:
+        """Attainable FLOP/s for large compute-bound GEMMs."""
+        return self.peak_flops * self.mfu
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Attainable bytes/s for streaming memory-bound kernels."""
+        return self.memory_bandwidth * self.mbu
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Roofline ridge point in FLOPs/byte (~156 for A100 FP16)."""
+        return self.peak_flops / self.memory_bandwidth
+
+
+A100_80GB = GPUSpec(
+    name="a100-80gb",
+    memory_bytes=80 * 1024**3,
+    peak_flops=312e12,            # FP16 tensor core peak
+    memory_bandwidth=2039e9,      # HBM2e
+    nvlink_bandwidth=300e9,       # 600 GB/s bidirectional => 300 GB/s per dir
+)
+
+A100_40GB = GPUSpec(
+    name="a100-40gb",
+    memory_bytes=40 * 1024**3,
+    peak_flops=312e12,
+    memory_bandwidth=1555e9,
+    nvlink_bandwidth=300e9,
+)
+
+H100_80GB = GPUSpec(
+    name="h100-80gb",
+    memory_bytes=80 * 1024**3,
+    peak_flops=989e12,
+    memory_bandwidth=3350e9,
+    nvlink_bandwidth=450e9,
+)
+
+GPU_REGISTRY: "dict[str, GPUSpec]" = {
+    g.name: g for g in [A100_80GB, A100_40GB, H100_80GB]
+}
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a GPU spec by case-insensitive name."""
+    key = name.lower()
+    if key not in GPU_REGISTRY:
+        known = ", ".join(sorted(GPU_REGISTRY))
+        raise KeyError(f"unknown GPU {name!r}; known GPUs: {known}")
+    return GPU_REGISTRY[key]

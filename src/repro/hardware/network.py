@@ -1,0 +1,84 @@
+"""Interconnect model for KV-cache and activation transfers.
+
+Disaggregation moves KV caches from prefill to decoding instances (§3.3).
+Whether that overhead is "insubstantial" depends entirely on the link it
+crosses: intra-node NVLink (600 GB/s bidirectional on A100), InfiniBand
+(up to 800 Gbps), or commodity Ethernet (the paper's testbed has 25 Gbps
+cross-node). We model each link with a latency + bandwidth pair and give a
+simple serialization-time formula; contention is handled by the simulator's
+transfer engine, which serializes transfers sharing a link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = [
+    "LinkType",
+    "NetworkLink",
+    "NVLINK",
+    "INFINIBAND_800G",
+    "INFINIBAND_200G",
+    "ETHERNET_25G",
+    "LOOPBACK",
+    "transfer_time",
+]
+
+
+class LinkType(Enum):
+    """Classes of interconnect between two GPUs."""
+
+    SAME_GPU = "same_gpu"
+    NVLINK = "nvlink"
+    CROSS_NODE = "cross_node"
+
+
+@dataclass(frozen=True)
+class NetworkLink:
+    """A point-to-point link characterized by latency and bandwidth.
+
+    Attributes:
+        name: Identifier for reporting.
+        bandwidth: Sustained bandwidth in bytes/s.
+        latency: Per-transfer fixed cost in seconds (software + wire setup).
+    """
+
+    name: str
+    bandwidth: float
+    latency: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+
+    def time_for(self, num_bytes: float) -> float:
+        """Time to move ``num_bytes`` over this link, seconds."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be >= 0, got {num_bytes}")
+        if num_bytes == 0:
+            return 0.0
+        return self.latency + num_bytes / self.bandwidth
+
+
+#: Same-GPU handoff: effectively a pointer swap, tiny fixed cost.
+LOOPBACK = NetworkLink(name="loopback", bandwidth=1e15, latency=1e-6)
+
+#: A100 NVLink, per-direction sustained.
+NVLINK = NetworkLink(name="nvlink", bandwidth=300e9, latency=5e-6)
+
+#: 800 Gbps InfiniBand (high node-affinity clusters, §4.1).
+INFINIBAND_800G = NetworkLink(name="ib-800g", bandwidth=100e9, latency=3e-6)
+
+#: 200 Gbps InfiniBand.
+INFINIBAND_200G = NetworkLink(name="ib-200g", bandwidth=25e9, latency=3e-6)
+
+#: 25 Gbps Ethernet — the paper's testbed cross-node fabric (§6.1).
+ETHERNET_25G = NetworkLink(name="eth-25g", bandwidth=3.125e9, latency=20e-6)
+
+
+def transfer_time(num_bytes: float, link: NetworkLink) -> float:
+    """Serialization time of a single transfer over ``link``, seconds."""
+    return link.time_for(num_bytes)

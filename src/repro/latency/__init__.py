@@ -1,0 +1,45 @@
+"""Analytical latency model (paper Appendix A) and parallelism adjustments."""
+
+from .coefficients import (
+    DEFAULT_ATTENTION_BLOCK_SIZE,
+    LatencyCoefficients,
+    ProfileSample,
+    coefficients_from_roofline,
+    fit_coefficients,
+)
+from .comm import kv_cache_bytes, kv_transfer_time, required_bandwidth
+from .decode import compute_bound_batch_size, decode_step_latency, decode_throughput
+from .parallel import (
+    ExecutionTimes,
+    ParallelismConfig,
+    decode_times,
+    intra_op_speedup,
+    prefill_times,
+    tp_allreduce_time_per_layer,
+)
+from .mixed import mixed_batch_latency
+from .prefill import prefill_latency, prefill_throughput, saturation_length
+
+__all__ = [
+    "DEFAULT_ATTENTION_BLOCK_SIZE",
+    "LatencyCoefficients",
+    "ProfileSample",
+    "coefficients_from_roofline",
+    "fit_coefficients",
+    "kv_cache_bytes",
+    "kv_transfer_time",
+    "required_bandwidth",
+    "compute_bound_batch_size",
+    "decode_step_latency",
+    "decode_throughput",
+    "ExecutionTimes",
+    "ParallelismConfig",
+    "decode_times",
+    "intra_op_speedup",
+    "prefill_times",
+    "tp_allreduce_time_per_layer",
+    "mixed_batch_latency",
+    "prefill_latency",
+    "prefill_throughput",
+    "saturation_length",
+]

@@ -1,0 +1,23 @@
+"""Model architecture descriptions, registry, and memory accounting."""
+
+from .architecture import BYTES_PER_PARAM_FP16, ModelArchitecture
+from .memory import (
+    MemoryBudget,
+    compute_memory_budget,
+    fits_in_memory,
+    max_kv_tokens,
+)
+from .registry import MODEL_REGISTRY, get_model, list_models, register_model
+
+__all__ = [
+    "BYTES_PER_PARAM_FP16",
+    "ModelArchitecture",
+    "MemoryBudget",
+    "compute_memory_budget",
+    "fits_in_memory",
+    "max_kv_tokens",
+    "MODEL_REGISTRY",
+    "get_model",
+    "list_models",
+    "register_model",
+]

@@ -1,0 +1,176 @@
+"""Transformer architecture descriptions used by the latency model.
+
+The DistServe latency model (paper Appendix A) characterizes a decoder-only
+transformer with four symbols:
+
+* ``h`` — hidden size
+* ``n`` — number of attention heads
+* ``s`` — head size (``h = n * s``)
+* ``m`` — FFN intermediate size
+
+plus the number of layers, which scales every per-layer cost. This module
+defines :class:`ModelArchitecture`, a frozen value object holding those
+parameters together with the derived quantities the rest of the system
+needs: weight bytes, KV-cache bytes per token, and per-phase FLOPs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+__all__ = ["ModelArchitecture", "BYTES_PER_PARAM_FP16"]
+
+#: FP16 precision, as used in all paper experiments (§6.1).
+BYTES_PER_PARAM_FP16 = 2
+
+
+@dataclass(frozen=True)
+class ModelArchitecture:
+    """Static description of a decoder-only transformer LLM.
+
+    All sizes are *full-model* values; tensor parallelism is expressed by
+    :meth:`shard` which divides the per-GPU view of ``hidden_size``,
+    ``num_heads`` and ``ffn_size`` as prescribed in Appendix A.
+
+    Attributes:
+        name: Human-readable identifier, e.g. ``"opt-13b"``.
+        num_layers: Number of transformer blocks.
+        hidden_size: Model (embedding) dimension ``h``.
+        num_heads: Attention head count ``n``.
+        ffn_size: FFN intermediate dimension ``m``.
+        vocab_size: Vocabulary size (used only for weight sizing).
+        max_seq_len: Maximum supported sequence length.
+        bytes_per_param: Storage bytes per parameter (2 for FP16).
+        tp_degree: Tensor-parallel degree this view has been sharded to.
+    """
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    num_heads: int
+    ffn_size: int
+    vocab_size: int = 50272
+    max_seq_len: int = 2048
+    bytes_per_param: int = BYTES_PER_PARAM_FP16
+    tp_degree: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0:
+            raise ValueError(f"num_layers must be positive, got {self.num_layers}")
+        if self.hidden_size <= 0 or self.ffn_size <= 0:
+            raise ValueError("hidden_size and ffn_size must be positive")
+        if self.num_heads <= 0:
+            raise ValueError(f"num_heads must be positive, got {self.num_heads}")
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError(
+                f"hidden_size {self.hidden_size} not divisible by "
+                f"num_heads {self.num_heads}"
+            )
+        if self.tp_degree <= 0:
+            raise ValueError(f"tp_degree must be positive, got {self.tp_degree}")
+
+    # ------------------------------------------------------------------
+    # Derived dimensions
+    # ------------------------------------------------------------------
+    @property
+    def head_size(self) -> int:
+        """Per-head dimension ``s = h / n``."""
+        return self.hidden_size // self.num_heads
+
+    @property
+    def num_params(self) -> int:
+        """Approximate total parameter count.
+
+        Per layer: QKV projection (3h^2), attention output (h^2), two FFN
+        matmuls (2hm), plus embedding and LM head (tied counted once here,
+        untied for OPT — we count both to match published sizes closely).
+        """
+        per_layer = 4 * self.hidden_size**2 + 2 * self.hidden_size * self.ffn_size
+        embedding = 2 * self.vocab_size * self.hidden_size
+        return self.num_layers * per_layer + embedding
+
+    @property
+    def weight_bytes(self) -> int:
+        """Total weight footprint in bytes at the configured precision."""
+        return self.num_params * self.bytes_per_param
+
+    @property
+    def kv_bytes_per_token(self) -> int:
+        """KV-cache bytes stored per token across all layers.
+
+        Two tensors (K and V) of ``hidden_size`` elements per layer.
+        For OPT-66B with 512 tokens this evaluates to ~1.1 GB per request,
+        matching the paper's §3.3 example.
+        """
+        return 2 * self.num_layers * self.hidden_size * self.bytes_per_param
+
+    # ------------------------------------------------------------------
+    # FLOPs accounting (full model, un-sharded)
+    # ------------------------------------------------------------------
+    def prefill_flops(self, num_tokens: int) -> float:
+        """Total FLOPs to prefill ``num_tokens`` tokens of one sequence.
+
+        GEMM terms follow Appendix A.2: per layer ``2 * t * (4h^2 + 2hm)``
+        multiply-accumulates counted as 2 FLOPs each, plus quadratic
+        attention ``2 * 2 * t^2 * h`` (QK^T and PV).
+        """
+        if num_tokens < 0:
+            raise ValueError(f"num_tokens must be >= 0, got {num_tokens}")
+        t = float(num_tokens)
+        h, m = float(self.hidden_size), float(self.ffn_size)
+        gemm = 2.0 * t * (4.0 * h * h + 2.0 * h * m)
+        attn = 4.0 * t * t * h
+        return self.num_layers * (gemm + attn)
+
+    def decode_flops(self, batch_size: int, context_lens: "list[int] | None" = None) -> float:
+        """Total FLOPs for one decoding step over a batch.
+
+        Each request contributes one new token: GEMMs of a single token
+        plus attention over its current context length.
+        """
+        if batch_size < 0:
+            raise ValueError(f"batch_size must be >= 0, got {batch_size}")
+        h, m = float(self.hidden_size), float(self.ffn_size)
+        gemm = 2.0 * batch_size * (4.0 * h * h + 2.0 * h * m)
+        total_ctx = float(sum(context_lens)) if context_lens else 0.0
+        attn = 4.0 * total_ctx * h
+        return self.num_layers * (gemm + attn)
+
+    # ------------------------------------------------------------------
+    # Parallelism views
+    # ------------------------------------------------------------------
+    def shard(self, tp_degree: int) -> "ModelArchitecture":
+        """Return the per-GPU view under ``tp_degree``-way tensor parallelism.
+
+        Appendix A: "If tensor parallelism is used, h, n, and m should be
+        divided by the tensor parallelism size." Layers are unchanged; the
+        relationship ``h = n * s`` is preserved by keeping head size fixed.
+        """
+        if tp_degree <= 0:
+            raise ValueError(f"tp_degree must be positive, got {tp_degree}")
+        if self.tp_degree != 1:
+            raise ValueError("model is already sharded; shard from the full model")
+        if tp_degree == 1:
+            return self
+        if self.num_heads % tp_degree != 0:
+            raise ValueError(
+                f"num_heads {self.num_heads} not divisible by tp_degree {tp_degree}"
+            )
+        return dataclasses.replace(
+            self,
+            hidden_size=self.hidden_size // tp_degree,
+            num_heads=self.num_heads // tp_degree,
+            ffn_size=self.ffn_size // tp_degree,
+            tp_degree=tp_degree,
+        )
+
+    def layers_per_stage(self, pp_degree: int) -> int:
+        """Number of layers assigned to each pipeline stage (ceil split)."""
+        if pp_degree <= 0:
+            raise ValueError(f"pp_degree must be positive, got {pp_degree}")
+        return -(-self.num_layers // pp_degree)
+
+    def activation_bytes_per_token(self) -> int:
+        """Bytes of hidden activation shipped between pipeline stages."""
+        return self.hidden_size * self.tp_degree * self.bytes_per_param

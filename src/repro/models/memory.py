@@ -1,0 +1,110 @@
+"""Memory budgeting for model weights and KV cache.
+
+Decoding batch size is ultimately bounded by the KV cache space left on the
+GPUs after weights are loaded (§3.2). This module computes those budgets
+for a given (model, parallelism, GPU) combination, and validates that a
+parallel configuration fits at all — the ``G.size / (inter_op * intra_op)
+< C`` feasibility check of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .architecture import ModelArchitecture
+
+__all__ = ["MemoryBudget", "compute_memory_budget", "max_kv_tokens", "fits_in_memory"]
+
+#: Fraction of GPU memory reserved for activations, workspace, fragmentation.
+DEFAULT_MEMORY_OVERHEAD_FRACTION = 0.10
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """Per-GPU memory accounting for one instance configuration.
+
+    Attributes:
+        gpu_memory_bytes: Physical capacity of one GPU.
+        weight_bytes_per_gpu: Model weight shard resident on each GPU.
+        reserved_bytes: Workspace/activation/fragmentation reserve.
+        kv_budget_bytes: Bytes available for KV cache on each GPU.
+        kv_bytes_per_token_per_gpu: KV bytes one token occupies on one GPU.
+    """
+
+    gpu_memory_bytes: int
+    weight_bytes_per_gpu: int
+    reserved_bytes: int
+    kv_budget_bytes: int
+    kv_bytes_per_token_per_gpu: int
+
+    @property
+    def max_kv_tokens(self) -> int:
+        """Maximum number of tokens whose KV cache fits on one GPU."""
+        if self.kv_bytes_per_token_per_gpu <= 0:
+            return 0
+        return max(0, self.kv_budget_bytes // self.kv_bytes_per_token_per_gpu)
+
+
+def compute_memory_budget(
+    model: ModelArchitecture,
+    gpu_memory_bytes: int,
+    tp_degree: int = 1,
+    pp_degree: int = 1,
+    overhead_fraction: float = DEFAULT_MEMORY_OVERHEAD_FRACTION,
+) -> MemoryBudget:
+    """Compute the per-GPU memory budget for an instance configuration.
+
+    Weights are split across ``tp_degree * pp_degree`` GPUs; the KV cache of
+    a token is likewise sharded (TP splits heads, PP splits layers), so the
+    per-GPU KV bytes per token shrink by the same factor.
+
+    Raises:
+        ValueError: if the weights alone exceed GPU capacity.
+    """
+    if not 0.0 <= overhead_fraction < 1.0:
+        raise ValueError(f"overhead_fraction must be in [0, 1), got {overhead_fraction}")
+    num_gpus = tp_degree * pp_degree
+    if num_gpus <= 0:
+        raise ValueError("parallel degrees must be positive")
+    weight_per_gpu = model.weight_bytes // num_gpus
+    reserved = int(gpu_memory_bytes * overhead_fraction)
+    kv_budget = gpu_memory_bytes - weight_per_gpu - reserved
+    if kv_budget < 0:
+        raise ValueError(
+            f"model {model.name} shard ({weight_per_gpu / 1e9:.1f} GB) does not fit "
+            f"in {gpu_memory_bytes / 1e9:.1f} GB GPU with tp={tp_degree}, pp={pp_degree}"
+        )
+    kv_per_token_per_gpu = model.kv_bytes_per_token // num_gpus
+    return MemoryBudget(
+        gpu_memory_bytes=gpu_memory_bytes,
+        weight_bytes_per_gpu=weight_per_gpu,
+        reserved_bytes=reserved,
+        kv_budget_bytes=kv_budget,
+        kv_bytes_per_token_per_gpu=kv_per_token_per_gpu,
+    )
+
+
+def max_kv_tokens(
+    model: ModelArchitecture,
+    gpu_memory_bytes: int,
+    tp_degree: int = 1,
+    pp_degree: int = 1,
+) -> int:
+    """Total KV-token capacity of the whole instance (all its GPUs)."""
+    budget = compute_memory_budget(model, gpu_memory_bytes, tp_degree, pp_degree)
+    # Each of the tp_degree GPUs in a stage holds a distinct shard of the same
+    # tokens, so instance capacity equals a single GPU's token count times the
+    # number of pipeline stages only when stages are balanced; we use the
+    # conservative single-stage figure multiplied by pp (layers split evenly).
+    return budget.max_kv_tokens
+
+
+def fits_in_memory(
+    model: ModelArchitecture,
+    gpu_memory_bytes: int,
+    tp_degree: int,
+    pp_degree: int,
+) -> bool:
+    """Algorithm 1 feasibility test: does the weight shard fit on each GPU?"""
+    num_gpus = tp_degree * pp_degree
+    return model.weight_bytes / num_gpus < gpu_memory_bytes

@@ -1,0 +1,33 @@
+"""Queueing-theoretic models backing the §3.1 parallelism analysis."""
+
+from .mdone import (
+    avg_ttft_inter_op,
+    avg_ttft_intra_op,
+    avg_ttft_single,
+    crossover_rate,
+    max_stable_rate,
+    md1_waiting_time,
+)
+from .mdc import (
+    erlang_c,
+    mdc_waiting_time,
+    mmc_waiting_time,
+    split_queue_waiting_time,
+)
+from .mm1 import mg1_waiting_time, mm1_response_time, mm1_waiting_time
+
+__all__ = [
+    "avg_ttft_inter_op",
+    "avg_ttft_intra_op",
+    "avg_ttft_single",
+    "crossover_rate",
+    "max_stable_rate",
+    "md1_waiting_time",
+    "erlang_c",
+    "mdc_waiting_time",
+    "mmc_waiting_time",
+    "split_queue_waiting_time",
+    "mg1_waiting_time",
+    "mm1_response_time",
+    "mm1_waiting_time",
+]

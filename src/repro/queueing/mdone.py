@@ -1,0 +1,126 @@
+"""M/D/1 queueing models used in the prefill-instance analysis (§3.1).
+
+With uniform prompt lengths, FCFS scheduling, and Poisson arrivals, a
+prefill instance is an M/D/1 queue. The paper derives average TTFT in
+closed form for a single device (Eq. 1) and under 2-way inter-op (Eq. 2)
+and intra-op (Eq. 3) parallelism. We implement the general-``degree``
+forms that specialize to the paper's equations at degree 2.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "md1_waiting_time",
+    "avg_ttft_single",
+    "avg_ttft_inter_op",
+    "avg_ttft_intra_op",
+    "max_stable_rate",
+    "crossover_rate",
+]
+
+
+def _check_utilization(rate: float, service_time: float) -> None:
+    if rate < 0:
+        raise ValueError(f"rate must be >= 0, got {rate}")
+    if service_time <= 0:
+        raise ValueError(f"service_time must be positive, got {service_time}")
+    if rate * service_time >= 1.0:
+        raise ValueError(
+            f"unstable queue: utilization rho = {rate * service_time:.3f} >= 1"
+        )
+
+
+def md1_waiting_time(rate: float, service_time: float) -> float:
+    """Mean waiting time (queuing delay) of an M/D/1 queue.
+
+    ``W = R D^2 / (2 (1 - R D))`` — the second term of Eq. 1.
+    """
+    _check_utilization(rate, service_time)
+    rho = rate * service_time
+    return rate * service_time**2 / (2.0 * (1.0 - rho))
+
+
+def avg_ttft_single(rate: float, execution_time: float) -> float:
+    """Eq. 1: average TTFT on a single device without parallelism.
+
+    ``Avg_TTFT = D + R D^2 / (2 (1 - R D))``.
+    """
+    return execution_time + md1_waiting_time(rate, execution_time)
+
+
+def avg_ttft_inter_op(rate: float, execution_time: float, degree: int = 2) -> float:
+    """Eq. 2 generalized: average TTFT under ``degree``-way inter-op parallelism.
+
+    Request latency stays ``D`` (``Ds ≈ D``) while the pipeline admits a
+    new request every ``Dm = D / degree``, so queuing follows M/D/1 with
+    service time ``Dm``:
+
+    ``Avg_TTFT_inter = D + R Dm^2 / (2 (1 - R Dm))``
+
+    which at ``degree=2`` reduces to the paper's ``D + R D^2 / (4 (2 - R D))``.
+    """
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+    stage_time = execution_time / degree
+    _check_utilization(rate, stage_time)
+    return execution_time + md1_waiting_time(rate, stage_time)
+
+
+def avg_ttft_intra_op(rate: float, execution_time: float, speedup: float) -> float:
+    """Eq. 3: average TTFT under intra-op parallelism with speedup ``K``.
+
+    Execution time shrinks to ``D / K`` and the queue serves at that rate:
+
+    ``Avg_TTFT_intra = D/K + R D^2 / (2 K (K - R D))``.
+    """
+    if speedup < 1.0:
+        raise ValueError(f"speedup K must be >= 1, got {speedup}")
+    service = execution_time / speedup
+    _check_utilization(rate, service)
+    return service + md1_waiting_time(rate, service)
+
+
+def max_stable_rate(service_time: float, utilization_cap: float = 1.0) -> float:
+    """Largest arrival rate keeping the queue stable (``rho < cap``)."""
+    if service_time <= 0:
+        raise ValueError(f"service_time must be positive, got {service_time}")
+    if not 0 < utilization_cap <= 1:
+        raise ValueError("utilization_cap must be in (0, 1]")
+    return utilization_cap / service_time
+
+
+def crossover_rate(
+    execution_time: float,
+    speedup: float,
+    degree: int = 2,
+    tolerance: float = 1e-9,
+) -> float:
+    """Arrival rate where inter-op TTFT first beats intra-op TTFT (§3.1).
+
+    Below the returned rate intra-op parallelism yields lower average TTFT
+    (execution-time dominated); above it inter-op wins (queuing dominated).
+    Returns ``inf`` when intra-op dominates across the whole stable range,
+    and ``0`` when inter-op always wins.
+    """
+    lo = 0.0
+    # Intra-op is stable while R < K / D; inter-op while R < degree / D.
+    hi = min(speedup, float(degree)) / execution_time * (1.0 - 1e-9)
+
+    def diff(rate: float) -> float:
+        return avg_ttft_intra_op(rate, execution_time, speedup) - avg_ttft_inter_op(
+            rate, execution_time, degree
+        )
+
+    if diff(lo) >= 0.0:
+        return 0.0
+    if diff(hi) <= 0.0:
+        return math.inf
+    while hi - lo > tolerance * max(1.0, hi):
+        mid = (lo + hi) / 2.0
+        if diff(mid) <= 0.0:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0

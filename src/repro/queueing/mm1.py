@@ -1,0 +1,48 @@
+"""Supplementary queueing formulas: M/M/1 and M/G/1 (Pollaczek–Khinchine).
+
+Real workloads have non-uniform prompt lengths (§3.3), so service times
+are random rather than deterministic. The M/G/1 mean-wait formula lets
+the analysis bracket the M/D/1 result (deterministic service is the
+best case; exponential the classic worst-ish case at the same mean).
+"""
+
+from __future__ import annotations
+
+__all__ = ["mm1_waiting_time", "mg1_waiting_time", "mm1_response_time"]
+
+
+def _check(rate: float, mean_service: float) -> float:
+    if rate < 0:
+        raise ValueError(f"rate must be >= 0, got {rate}")
+    if mean_service <= 0:
+        raise ValueError(f"mean_service must be positive, got {mean_service}")
+    rho = rate * mean_service
+    if rho >= 1.0:
+        raise ValueError(f"unstable queue: rho = {rho:.3f} >= 1")
+    return rho
+
+
+def mm1_waiting_time(rate: float, mean_service: float) -> float:
+    """Mean waiting time of an M/M/1 queue: ``rho D / (1 - rho)``."""
+    rho = _check(rate, mean_service)
+    return rho * mean_service / (1.0 - rho)
+
+
+def mm1_response_time(rate: float, mean_service: float) -> float:
+    """Mean sojourn (wait + service) of an M/M/1 queue."""
+    return mean_service + mm1_waiting_time(rate, mean_service)
+
+
+def mg1_waiting_time(rate: float, mean_service: float, service_scv: float) -> float:
+    """Pollaczek–Khinchine mean wait for general service-time distributions.
+
+    Args:
+        rate: Poisson arrival rate.
+        mean_service: Mean service time ``D``.
+        service_scv: Squared coefficient of variation ``Var/D^2``
+            (0 recovers M/D/1, 1 recovers M/M/1).
+    """
+    if service_scv < 0:
+        raise ValueError(f"service_scv must be >= 0, got {service_scv}")
+    rho = _check(rate, mean_service)
+    return rho * mean_service * (1.0 + service_scv) / (2.0 * (1.0 - rho))

@@ -1,0 +1,176 @@
+"""OpenAI-compatible frontend facade (§5).
+
+The original DistServe exposes an OpenAI-style completions interface in
+front of its orchestration layer. This module reproduces that surface
+for the simulated stack: clients construct :class:`CompletionRequest`
+objects (prompt, ``max_tokens``, ``temperature``), submit them to an
+:class:`APIFrontend` bound to any serving system, and receive
+:class:`CompletionResponse` objects carrying the generation together
+with per-token timing (the "stream").
+
+Tokenization is a deterministic toy byte-pair-free scheme (~4 chars per
+token) — adequate because the simulator consumes only token *counts*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .base import ServingSystem
+from ..simulator.events import Simulation
+from ..simulator.request import RequestRecord
+from ..workload.trace import Request
+
+__all__ = [
+    "CompletionRequest",
+    "CompletionResponse",
+    "APIFrontend",
+    "count_tokens",
+]
+
+#: Average characters per token of the toy tokenizer.
+CHARS_PER_TOKEN = 4
+
+
+def count_tokens(text: str) -> int:
+    """Token count of ``text`` under the toy tokenizer (>= 1)."""
+    return max(1, math.ceil(len(text) / CHARS_PER_TOKEN))
+
+
+@dataclass(frozen=True)
+class CompletionRequest:
+    """An OpenAI-style completion request.
+
+    Attributes:
+        prompt: Input text (tokenized by :func:`count_tokens`).
+        max_tokens: Maximum tokens to generate.
+        temperature: Sampling temperature; only influences the sampled
+            output length in this reproduction (generation content is
+            not modeled).
+        stop_probability: Per-token probability of emitting the
+            termination token; the effective output length is
+            min(geometric sample, ``max_tokens``).
+    """
+
+    prompt: str
+    max_tokens: int = 128
+    temperature: float = 1.0
+    stop_probability: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not self.prompt:
+            raise ValueError("prompt must be non-empty")
+        if self.max_tokens < 1:
+            raise ValueError(f"max_tokens must be >= 1, got {self.max_tokens}")
+        if self.temperature < 0:
+            raise ValueError(f"temperature must be >= 0, got {self.temperature}")
+        if not 0 < self.stop_probability <= 1:
+            raise ValueError("stop_probability must be in (0, 1]")
+
+    def sample_output_len(self, rng: np.random.Generator) -> int:
+        """Sampled generation length.
+
+        Temperature 0 is deterministic decoding: the model runs to
+        ``max_tokens`` (or the first stop token — modeled as the
+        geometric mean length). Higher temperatures add variance.
+        """
+        if self.temperature == 0:
+            expected = min(self.max_tokens, int(1.0 / self.stop_probability))
+            return max(1, expected)
+        length = int(rng.geometric(self.stop_probability))
+        return max(1, min(length, self.max_tokens))
+
+
+@dataclass(frozen=True)
+class CompletionResponse:
+    """Completion result with streaming-token timing.
+
+    Attributes:
+        request_id: Frontend-assigned id.
+        prompt_tokens: Tokens consumed by the prompt.
+        completion_tokens: Tokens generated.
+        created: Virtual time the request was accepted.
+        first_token_time: Virtual time of the first streamed token.
+        finish_time: Virtual time of the final token.
+        record: The underlying latency record.
+    """
+
+    request_id: int
+    prompt_tokens: int
+    completion_tokens: int
+    created: float
+    first_token_time: float
+    finish_time: float
+    record: RequestRecord
+
+    @property
+    def ttft(self) -> float:
+        return self.first_token_time - self.created
+
+    @property
+    def tpot(self) -> float:
+        return self.record.tpot
+
+
+class APIFrontend:
+    """Binds completion requests to a simulated serving system.
+
+    Usage::
+
+        sim = Simulation()
+        system = DisaggregatedSystem(sim, spec, spec)
+        api = APIFrontend(sim, system, seed=0)
+        api.submit_at(0.5, CompletionRequest(prompt="Hello world"))
+        sim.run()
+        responses = api.responses()
+    """
+
+    def __init__(self, sim: Simulation, system: ServingSystem, seed: int = 0) -> None:
+        self._sim = sim
+        self._system = system
+        self._rng = np.random.default_rng(seed)
+        self._next_id = 0
+        self._pending: "dict[int, tuple[CompletionRequest, float]]" = {}
+        self._responses: "list[CompletionResponse]" = []
+
+    def submit_at(self, time: float, request: CompletionRequest) -> int:
+        """Schedule a completion request at virtual time ``time``.
+
+        Returns the assigned request id.
+        """
+        request_id = self._next_id
+        self._next_id += 1
+        input_len = count_tokens(request.prompt)
+        output_len = request.sample_output_len(self._rng)
+        internal = Request(
+            request_id=request_id,
+            arrival_time=time,
+            input_len=input_len,
+            output_len=output_len,
+        )
+        self._pending[request_id] = (request, time)
+        self._sim.schedule_at(time, lambda: self._system.submit(internal))
+        return request_id
+
+    def responses(self) -> "list[CompletionResponse]":
+        """Collect responses for all completed requests (idempotent)."""
+        done_ids = {r.request_id for r in self._responses}
+        for record in self._system.records:
+            if record.request_id in done_ids or record.request_id not in self._pending:
+                continue
+            _, created = self._pending[record.request_id]
+            self._responses.append(
+                CompletionResponse(
+                    request_id=record.request_id,
+                    prompt_tokens=record.input_len,
+                    completion_tokens=record.output_len,
+                    created=created,
+                    first_token_time=created + record.ttft,
+                    finish_time=record.finish_time,
+                    record=record,
+                )
+            )
+        return list(self._responses)

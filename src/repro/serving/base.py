@@ -1,0 +1,113 @@
+"""Serving-system abstraction and the trace runner.
+
+A serving system accepts requests and eventually produces one
+:class:`~repro.simulator.request.RequestRecord` per finished request.
+:func:`simulate_trace` drives any system with a workload trace inside a
+fresh simulation and packages the outcome.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from ..simulator.events import Simulation
+from ..simulator.request import RequestRecord, RequestState
+from ..simulator.transfer import TransferRecord
+from ..workload.trace import Request, Trace
+
+__all__ = ["ServingSystem", "SimulationResult", "simulate_trace"]
+
+
+class ServingSystem(abc.ABC):
+    """Base class for simulated serving systems.
+
+    Subclasses implement :meth:`submit`; completion flows back through
+    :meth:`_complete`, which freezes the request into a record.
+    """
+
+    def __init__(self, sim: Simulation) -> None:
+        self.sim = sim
+        self.records: "list[RequestRecord]" = []
+        self._submitted = 0
+
+    @abc.abstractmethod
+    def submit(self, request: Request) -> None:
+        """Accept one arriving request."""
+
+    @property
+    def submitted(self) -> int:
+        return self._submitted
+
+    @property
+    def unfinished(self) -> int:
+        """Requests accepted but not yet completed."""
+        return self._submitted - len(self.records)
+
+    def _register(self, request: Request) -> RequestState:
+        self._submitted += 1
+        return RequestState(request=request)
+
+    def _complete(self, state: RequestState) -> None:
+        self.records.append(state.to_record())
+
+    def num_gpus(self) -> int:
+        """GPUs provisioned by this system (for per-GPU goodput)."""
+        raise NotImplementedError
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one trace simulation."""
+
+    records: "list[RequestRecord]"
+    unfinished: int
+    sim_time: float
+    events_processed: int
+    transfer_records: "list[TransferRecord]" = field(default_factory=list)
+    num_gpus: int = 0
+
+    @property
+    def completed(self) -> int:
+        return len(self.records)
+
+
+def simulate_trace(
+    system: ServingSystem,
+    trace: Trace,
+    max_sim_time: "float | None" = None,
+    max_events: "int | None" = None,
+) -> SimulationResult:
+    """Feed ``trace`` into ``system`` and run the simulation to completion.
+
+    Args:
+        system: A serving system bound to a fresh :class:`Simulation`.
+        trace: Arrival-ordered requests.
+        max_sim_time: Optional virtual-time cutoff (requests still in
+            flight at the cutoff are reported as unfinished).
+        max_events: Safety valve for runaway simulations.
+    """
+    sim = system.sim
+    for request in trace:
+        sim.schedule_at(request.arrival_time, _make_arrival(system, request))
+    sim.run(until=max_sim_time, max_events=max_events)
+    transfers = getattr(system, "transfer_records", [])
+    try:
+        gpus = system.num_gpus()
+    except NotImplementedError:
+        gpus = 0
+    return SimulationResult(
+        records=list(system.records),
+        unfinished=system.unfinished,
+        sim_time=sim.now,
+        events_processed=sim.events_processed,
+        transfer_records=list(transfers),
+        num_gpus=gpus,
+    )
+
+
+def _make_arrival(system: ServingSystem, request: Request):
+    def _arrive() -> None:
+        system.submit(request)
+
+    return _arrive

@@ -1,0 +1,78 @@
+"""Colocated serving system: N replicas of a vLLM-like engine.
+
+The baseline of §6. Each replica colocates prefill and decoding on the
+same GPUs; arrivals are dispatched across replicas (least-loaded by
+default). ``policy`` selects the iteration scheduler — see
+:mod:`repro.simulator.colocated_instance`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ServingSystem
+from .dispatch import Dispatcher
+from ..simulator.colocated_instance import ColocatedInstance
+from ..simulator.events import Simulation
+from ..simulator.instance import InstanceSpec
+from ..simulator.request import RequestState
+from ..workload.trace import Request
+
+__all__ = ["ColocatedSystem"]
+
+
+class ColocatedSystem(ServingSystem):
+    """One or more colocated replicas behind a dispatcher.
+
+    Args:
+        sim: Shared simulation loop.
+        spec: Per-replica resources and parallelism.
+        num_replicas: Model replicas (rate capacity scales linearly, §2.2).
+        policy: Iteration scheduling policy of each replica.
+        dispatch_policy: How arrivals are routed across replicas.
+        max_prefill_tokens: Per-iteration prefill token budget.
+        chunk_size: Chunk budget for the ``"chunked"`` policy.
+        rng: Needed only for random dispatch.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        spec: InstanceSpec,
+        num_replicas: int = 1,
+        policy: str = "prefill_priority",
+        dispatch_policy: str = "least_loaded",
+        max_prefill_tokens: int = 2048,
+        chunk_size: int = 512,
+        rng: "np.random.Generator | None" = None,
+    ) -> None:
+        super().__init__(sim)
+        if num_replicas <= 0:
+            raise ValueError(f"num_replicas must be positive, got {num_replicas}")
+        self.spec = spec
+        self.instances = [
+            ColocatedInstance(
+                sim,
+                spec,
+                on_request_done=self._complete,
+                policy=policy,
+                max_prefill_tokens=max_prefill_tokens,
+                chunk_size=chunk_size,
+                name=f"colocated-{i}",
+            )
+            for i in range(num_replicas)
+        ]
+        self._dispatcher = Dispatcher(
+            dispatch_policy, load_fn=lambda inst: inst.load, rng=rng
+        )
+
+    def submit(self, request: Request) -> None:
+        state = self._register(request)
+        self._dispatcher.choose(self.instances).submit(state)
+
+    def num_gpus(self) -> int:
+        return self.spec.num_gpus * len(self.instances)
+
+    @property
+    def total_preemptions(self) -> int:
+        return sum(inst.preemptions for inst in self.instances)

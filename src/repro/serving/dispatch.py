@@ -1,0 +1,69 @@
+"""Dispatch policies for routing requests across instances.
+
+§4.3: requests are "dispatched to the prefill instance with the shortest
+queue ... followed by dispatch to the least loaded decoding instance".
+Round-robin and random policies are provided for the dispatch-policy
+ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["Dispatcher", "make_dispatcher", "DISPATCH_POLICIES"]
+
+T = TypeVar("T")
+
+DISPATCH_POLICIES = ("least_loaded", "round_robin", "random")
+
+
+class Dispatcher:
+    """Chooses a target instance for each incoming request.
+
+    Args:
+        policy: One of :data:`DISPATCH_POLICIES`.
+        load_fn: Maps an instance to its current load (used by
+            ``least_loaded``; ties break by instance order).
+        rng: Required for the ``random`` policy.
+    """
+
+    def __init__(
+        self,
+        policy: str,
+        load_fn: "Callable[[T], float]",
+        rng: "np.random.Generator | None" = None,
+    ) -> None:
+        if policy not in DISPATCH_POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; expected one of {DISPATCH_POLICIES}"
+            )
+        if policy == "random" and rng is None:
+            raise ValueError("random dispatch requires an rng")
+        self.policy = policy
+        self._load_fn = load_fn
+        self._rng = rng
+        self._next = 0
+
+    def choose(self, instances: "Sequence[T]") -> T:
+        """Pick the target instance for one request."""
+        if not instances:
+            raise ValueError("no instances to dispatch to")
+        if self.policy == "least_loaded":
+            return min(instances, key=self._load_fn)
+        if self.policy == "round_robin":
+            chosen = instances[self._next % len(instances)]
+            self._next += 1
+            return chosen
+        idx = int(self._rng.integers(0, len(instances)))
+        return instances[idx]
+
+
+def make_dispatcher(
+    policy: str,
+    load_fn: "Callable[[T], float]",
+    rng: "np.random.Generator | None" = None,
+) -> Dispatcher:
+    """Convenience constructor mirroring :class:`Dispatcher`."""
+    return Dispatcher(policy=policy, load_fn=load_fn, rng=rng)

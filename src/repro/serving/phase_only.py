@@ -1,0 +1,98 @@
+"""Phase-only serving systems, used by Figure 1's motivation experiment.
+
+Figure 1 compares a colocated system against (a) a system serving *only*
+the prefill phase — its TTFT is unpolluted by decoding — and (b) a
+system serving *only* decoding — its TPOT is unpolluted by prefill.
+These are idealized single-phase engines:
+
+* :class:`PrefillOnlySystem` completes a request when its first token is
+  produced; subsequent output tokens are stamped instantly so records
+  stay well-formed (TPOT ~ 0 by construction, only TTFT is meaningful).
+* :class:`DecodeOnlySystem` assumes the KV cache materializes for free
+  at arrival (TTFT ~ 0 by construction, only TPOT is meaningful).
+"""
+
+from __future__ import annotations
+
+from .base import ServingSystem
+from .dispatch import Dispatcher
+from ..simulator.decode_instance import DecodeInstance
+from ..simulator.events import Simulation
+from ..simulator.instance import InstanceSpec
+from ..simulator.prefill_instance import PrefillInstance
+from ..simulator.request import RequestState
+from ..workload.trace import Request
+
+__all__ = ["PrefillOnlySystem", "DecodeOnlySystem"]
+
+
+class PrefillOnlySystem(ServingSystem):
+    """Serves only the prefill phase (Figure 1 upper, orange curve)."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        spec: InstanceSpec,
+        num_instances: int = 1,
+    ) -> None:
+        super().__init__(sim)
+        self.spec = spec
+        self.instances = [
+            PrefillInstance(
+                sim, spec, on_prefill_done=self._finish, name=f"prefill-{i}"
+            )
+            for i in range(num_instances)
+        ]
+        self._dispatch = Dispatcher("least_loaded", load_fn=lambda i: i.queue_len)
+
+    def submit(self, request: Request) -> None:
+        state = self._register(request)
+        self._dispatch.choose(self.instances).submit(state)
+
+    def _finish(self, state: RequestState) -> None:
+        # The parked KV is dropped immediately (no decode side exists) and
+        # remaining tokens are free — only TTFT is under test.
+        for inst in self.instances:
+            inst.release_kv(state.request_id)
+        while not state.is_finished:
+            state.record_token(self.sim.now)
+        self._complete(state)
+
+    def num_gpus(self) -> int:
+        return self.spec.num_gpus * len(self.instances)
+
+
+class DecodeOnlySystem(ServingSystem):
+    """Serves only the decoding phase (Figure 1 lower, green curve)."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        spec: InstanceSpec,
+        num_instances: int = 1,
+    ) -> None:
+        super().__init__(sim)
+        self.spec = spec
+        self.instances = [
+            DecodeInstance(
+                sim, spec, on_request_done=self._complete, name=f"decode-{i}"
+            )
+            for i in range(num_instances)
+        ]
+        self._dispatch = Dispatcher("least_loaded", load_fn=lambda i: i.load)
+
+    def submit(self, request: Request) -> None:
+        state = self._register(request)
+        # The KV cache appears for free; the first token is emitted
+        # immediately so decode steps generate the remaining tokens.
+        state.stamp("prefill_start", self.sim.now)
+        state.stamp("prefill_end", self.sim.now)
+        state.stamp("transfer_end", self.sim.now)
+        state.record_token(self.sim.now)
+        if state.is_finished:
+            self._complete(state)
+            return
+        self._dispatch.choose(self.instances).submit(state)
+
+    def num_gpus(self) -> int:
+        return self.spec.num_gpus * len(self.instances)

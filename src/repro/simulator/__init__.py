@@ -1,0 +1,31 @@
+"""Discrete-event cluster simulator: the substrate replacing the paper's
+C++/CUDA execution engine (see DESIGN.md substitution table)."""
+
+from .colocated_instance import POLICIES, ColocatedInstance
+from .decode_instance import DecodeInstance
+from .events import Simulation
+from .instance import DEFAULT_BLOCK_SIZE, InstanceSpec
+from .kvcache import KVBlockManager, OutOfBlocksError
+from .prefill_instance import PrefillInstance
+from .request import RequestPhase, RequestRecord, RequestState
+from .telemetry import GaugeSeries, TelemetryRecorder
+from .transfer import TransferEngine, TransferRecord
+
+__all__ = [
+    "POLICIES",
+    "ColocatedInstance",
+    "DecodeInstance",
+    "Simulation",
+    "DEFAULT_BLOCK_SIZE",
+    "InstanceSpec",
+    "KVBlockManager",
+    "OutOfBlocksError",
+    "PrefillInstance",
+    "RequestPhase",
+    "RequestRecord",
+    "RequestState",
+    "GaugeSeries",
+    "TelemetryRecorder",
+    "TransferEngine",
+    "TransferRecord",
+]

@@ -1,0 +1,358 @@
+"""Colocated serving instance: prefill and decode share the same GPUs.
+
+This is the baseline DistServe compares against (§2.2, §6.1). Three
+iteration-level scheduling policies are modeled:
+
+* ``"prefill_priority"`` — vLLM semantics: an iteration is either a
+  prefill batch (new prompts, prioritized) or one decoding step of all
+  running requests. Decoding stalls whenever prompts arrive — the
+  prefill-decoding interference of Figure 2.
+* ``"decode_priority"`` — the mirror image: decoding steps run while any
+  request is active; prompts are admitted only when decoding drains.
+  §2.3's point — "prioritizing tasks in either phase adversely affects
+  the latency of the other, rendering priority scheduling ineffective" —
+  falls out of comparing these two.
+* ``"combined"`` — Orca-style continuous batching: waiting prompts and
+  running decodes execute in one combined iteration.
+* ``"chunked"`` — SARATHI-style chunked prefill: prompts are split into
+  fixed-size chunks piggybacked onto decode iterations, trading TTFT
+  for TPOT (§2.2).
+
+KV management is vLLM-style optimistic admission with recompute
+preemption: a request that cannot grow its KV is pushed back to the
+waiting queue, its blocks freed, and its full context re-prefilled on
+re-admission.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque
+
+from .events import Simulation
+from .instance import InstanceSpec
+from .kvcache import KVBlockManager
+from .request import RequestPhase, RequestState
+from ..latency.mixed import mixed_batch_latency
+from ..latency.parallel import decode_times, prefill_times
+
+__all__ = ["ColocatedInstance", "POLICIES"]
+
+POLICIES = ("prefill_priority", "decode_priority", "combined", "chunked")
+
+
+class ColocatedInstance:
+    """Simulated colocated model replica (the vLLM baseline).
+
+    Args:
+        sim: Shared simulation loop.
+        spec: Instance resources and parallelism.
+        on_request_done: Fired when a request finishes all output tokens.
+        policy: One of :data:`POLICIES`.
+        max_prefill_tokens: Token budget of one prefill iteration.
+        chunk_size: Prompt-chunk budget for the ``"chunked"`` policy.
+        name: Identifier for reporting.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        spec: InstanceSpec,
+        on_request_done: Callable[[RequestState], None],
+        policy: str = "prefill_priority",
+        max_prefill_tokens: int = 2048,
+        chunk_size: int = 512,
+        name: str = "colocated-0",
+    ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+        if max_prefill_tokens <= 0 or chunk_size <= 0:
+            raise ValueError("max_prefill_tokens and chunk_size must be positive")
+        self._sim = sim
+        self.spec = spec
+        self.name = name
+        self.policy = policy
+        self._on_done = on_request_done
+        self._max_prefill_tokens = max_prefill_tokens
+        self._chunk_size = chunk_size
+        self._waiting: "Deque[RequestState]" = deque()
+        self._running: "list[RequestState]" = []
+        self._running_ids: "set[int]" = set()
+        self._kv: KVBlockManager = spec.make_kv_manager()
+        self._coeffs = spec.latency_coeffs
+        # Chunked-prefill progress: request_id -> prompt tokens prefilled.
+        self._chunk_progress: "dict[int, int]" = {}
+        # Recompute lengths for preempted requests: request_id -> context.
+        self._recompute_len: "dict[int, int]" = {}
+        self._jitter = spec.make_jitter(name)
+        self._iterating = False
+        # Instrumentation.
+        self.prefill_iterations = 0
+        self.decode_iterations = 0
+        self.mixed_iterations = 0
+        self.preemptions = 0
+        self.busy_time = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def load(self) -> int:
+        return len(self._waiting) + len(self._running)
+
+    def submit(self, state: RequestState) -> None:
+        """Accept an arriving request."""
+        state.phase = RequestPhase.WAITING_PREFILL
+        state.stamp("prefill_enqueue", self._sim.now)
+        self._waiting.append(state)
+        self._kick()
+
+    # ------------------------------------------------------------------
+    def _prompt_len(self, state: RequestState) -> int:
+        """Tokens to prefill: the prompt, or full context after preemption."""
+        return self._recompute_len.get(state.request_id, state.request.input_len)
+
+    def _try_admit_prefill(self, token_budget: int) -> "list[RequestState]":
+        """Pop waiting requests into a prefill batch within the budget."""
+        batch: "list[RequestState]" = []
+        total = 0
+        while self._waiting and len(self._running) + len(batch) < self.spec.max_batch_size:
+            head = self._waiting[0]
+            need = self._prompt_len(head)
+            if batch and total + need > token_budget:
+                break
+            if not self._kv.can_allocate(need):
+                break
+            self._kv.allocate(head.request_id, need)
+            batch.append(self._waiting.popleft())
+            total += need
+        return batch
+
+    def _kick(self) -> None:
+        if self._iterating:
+            return
+        if not self._waiting and not self._running:
+            return
+        self._iterating = True
+        self._run_iteration()
+
+    def _run_iteration(self) -> None:
+        if self.policy == "prefill_priority":
+            self._iteration_prefill_priority()
+        elif self.policy == "decode_priority":
+            self._iteration_decode_priority()
+        elif self.policy == "combined":
+            self._iteration_mixed(token_budget=self._max_prefill_tokens, combined=True)
+        else:
+            self._iteration_mixed(token_budget=self._chunk_size, combined=False)
+
+    # ------------------------------------------------------------------
+    def _iteration_prefill_priority(self) -> None:
+        batch = self._try_admit_prefill(self._max_prefill_tokens)
+        if batch:
+            lens = [self._prompt_len(s) for s in batch]
+            times = prefill_times(
+                self.spec.model,
+                self.spec.config,
+                self._coeffs,
+                lens,
+                tp_link=self.spec.tp_link,
+                pp_link=self.spec.pp_link,
+            )
+            duration = times.request_latency * self._jitter()
+            self.prefill_iterations += 1
+            self.busy_time += duration
+            for state in batch:
+                state.phase = RequestPhase.PREFILLING
+                state.stamp("prefill_start", self._sim.now)
+            self._sim.schedule(duration, lambda: self._finish_prefill(batch))
+            return
+        if self._running:
+            contexts = [s.context_len for s in self._running]
+            times = decode_times(
+                self.spec.model,
+                self.spec.config,
+                self._coeffs,
+                contexts,
+                tp_link=self.spec.tp_link,
+                pp_link=self.spec.pp_link,
+            )
+            duration = times.request_latency * self._jitter()
+            self.decode_iterations += 1
+            self.busy_time += duration
+            batch_snapshot = list(self._running)
+            self._sim.schedule(duration, lambda: self._finish_decode(batch_snapshot))
+            return
+        self._iterating = False
+
+    def _iteration_decode_priority(self) -> None:
+        """Decode first; prompts wait until the running set drains."""
+        if self._running:
+            contexts = [s.context_len for s in self._running]
+            times = decode_times(
+                self.spec.model,
+                self.spec.config,
+                self._coeffs,
+                contexts,
+                tp_link=self.spec.tp_link,
+                pp_link=self.spec.pp_link,
+            )
+            duration = times.request_latency * self._jitter()
+            self.decode_iterations += 1
+            self.busy_time += duration
+            batch_snapshot = list(self._running)
+            self._sim.schedule(duration, lambda: self._finish_decode(batch_snapshot))
+            return
+        batch = self._try_admit_prefill(self._max_prefill_tokens)
+        if batch:
+            lens = [self._prompt_len(s) for s in batch]
+            times = prefill_times(
+                self.spec.model,
+                self.spec.config,
+                self._coeffs,
+                lens,
+                tp_link=self.spec.tp_link,
+                pp_link=self.spec.pp_link,
+            )
+            duration = times.request_latency * self._jitter()
+            self.prefill_iterations += 1
+            self.busy_time += duration
+            for state in batch:
+                state.phase = RequestPhase.PREFILLING
+                state.stamp("prefill_start", self._sim.now)
+            self._sim.schedule(duration, lambda: self._finish_prefill(batch))
+            return
+        self._iterating = False
+
+    def _finish_prefill(self, batch: "list[RequestState]") -> None:
+        for state in batch:
+            was_preempted = state.request_id in self._recompute_len
+            self._recompute_len.pop(state.request_id, None)
+            state.stamp("prefill_end", self._sim.now)
+            if not was_preempted and state.generated == 0:
+                state.record_token(self._sim.now)
+            state.phase = RequestPhase.DECODING
+            state.stamp("decode_start", self._sim.now)
+            if state.is_finished:
+                self._kv.free(state.request_id)
+                state.phase = RequestPhase.FINISHED
+                self._on_done(state)
+            else:
+                self._running.append(state)
+                self._running_ids.add(state.request_id)
+        self._run_iteration()
+
+    def _finish_decode(self, batch: "list[RequestState]") -> None:
+        self._advance_decodes(batch)
+        self._run_iteration()
+
+    def _advance_decodes(self, batch: "list[RequestState]") -> None:
+        finished: "list[RequestState]" = []
+        for state in batch:
+            if state.request_id not in self._running_ids:
+                continue  # preempted during this iteration
+            if not self._kv.can_append(state.request_id):
+                self._preempt_youngest(exclude_id=state.request_id)
+                if not self._kv.can_append(state.request_id):
+                    continue  # still stuck; token retried next iteration
+            self._kv.append(state.request_id)
+            state.record_token(self._sim.now)
+            if state.is_finished:
+                finished.append(state)
+        for state in finished:
+            self._running.remove(state)
+            self._running_ids.discard(state.request_id)
+            self._kv.free(state.request_id)
+            state.phase = RequestPhase.FINISHED
+            self._on_done(state)
+
+    def _preempt_youngest(self, exclude_id: int) -> None:
+        """Recompute-preempt the most recently admitted running request."""
+        for idx in range(len(self._running) - 1, -1, -1):
+            victim = self._running[idx]
+            if victim.request_id == exclude_id:
+                continue
+            self._running.pop(idx)
+            self._running_ids.discard(victim.request_id)
+            self._kv.free(victim.request_id)
+            self._recompute_len[victim.request_id] = victim.context_len
+            victim.phase = RequestPhase.WAITING_PREFILL
+            self._waiting.appendleft(victim)
+            self.preemptions += 1
+            return
+
+    # ------------------------------------------------------------------
+    def _iteration_mixed(self, token_budget: int, combined: bool) -> None:
+        """One Orca/SARATHI iteration: decode batch plus prompt (chunks)."""
+        contexts = [s.context_len for s in self._running]
+        budget = token_budget if not combined else self._max_prefill_tokens
+        chunk_lens: "list[int]" = []
+        chunk_owners: "list[RequestState]" = []
+        spent = 0
+        while self._waiting and spent < budget:
+            head = self._waiting[0]
+            need = self._prompt_len(head)
+            done = self._chunk_progress.get(head.request_id, 0)
+            if done == 0:
+                if len(self._running) + len(chunk_owners) >= self.spec.max_batch_size:
+                    break
+                if not self._kv.can_allocate(need):
+                    break
+                self._kv.allocate(head.request_id, need)
+                head.phase = RequestPhase.PREFILLING
+                head.stamp("prefill_start", self._sim.now)
+            remaining = need - done
+            take = remaining if combined else min(remaining, budget - spent)
+            if take <= 0:
+                break
+            chunk_lens.append(take)
+            chunk_owners.append(head)
+            self._chunk_progress[head.request_id] = done + take
+            spent += take
+            if done + take >= need:
+                self._waiting.popleft()
+            else:
+                break  # a partially prefilled prompt keeps its queue head
+        if not chunk_lens and not contexts:
+            self._iterating = False
+            return
+        duration = mixed_batch_latency(
+            self.spec.model,
+            self._coeffs,
+            chunk_lens,
+            contexts,
+            tp=self.spec.config.tp,
+        ) * self._jitter()
+        self.mixed_iterations += 1
+        self.busy_time += duration
+        decode_snapshot = list(self._running)
+        completed = [
+            s
+            for s in chunk_owners
+            if self._chunk_progress.get(s.request_id, 0) >= self._prompt_len(s)
+        ]
+        self._sim.schedule(
+            duration, lambda: self._finish_mixed(decode_snapshot, completed)
+        )
+
+    def _finish_mixed(
+        self,
+        decode_batch: "list[RequestState]",
+        prefilled: "list[RequestState]",
+    ) -> None:
+        for state in prefilled:
+            was_preempted = state.request_id in self._recompute_len
+            self._recompute_len.pop(state.request_id, None)
+            self._chunk_progress.pop(state.request_id, None)
+            state.stamp("prefill_end", self._sim.now)
+            if not was_preempted and state.generated == 0:
+                state.record_token(self._sim.now)
+            state.phase = RequestPhase.DECODING
+            state.stamp("decode_start", self._sim.now)
+            if state.is_finished:
+                self._kv.free(state.request_id)
+                state.phase = RequestPhase.FINISHED
+                self._on_done(state)
+            else:
+                self._running.append(state)
+                self._running_ids.add(state.request_id)
+        self._advance_decodes(decode_batch)
+        self._run_iteration()

@@ -1,0 +1,232 @@
+"""Decode instance: continuous batching of token generation.
+
+A decode instance receives KV caches pulled from prefill instances and
+generates the remaining tokens. Batching is the whole point (§3.2): a
+single decode job is bandwidth-bound, so the instance accumulates as
+large a batch as its KV memory and ``max_batch_size`` allow.
+
+Pipeline parallelism is modeled in steady state: the active set splits
+into ``pp`` micro-batches flowing through the stages, so every active
+request produces one token per ``request_latency(micro-batch)`` —
+pipeline depth multiplies KV capacity (hence throughput) while TPOT is
+set by the micro-batch traversal time.
+
+Admission reserves the *full* final context (prompt + all output tokens)
+so a request admitted never runs out of KV mid-flight; this is the
+conservative no-preemption policy a disaggregated decode instance can
+afford because the prefill side buffers overflow (§4.3 pull policy).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque
+
+from .events import Simulation
+from .instance import InstanceSpec
+from .kvcache import KVBlockManager
+from .request import RequestPhase, RequestState
+from ..latency.parallel import decode_times
+
+__all__ = ["DecodeInstance"]
+
+
+class DecodeInstance:
+    """Simulated decode-only model replica.
+
+    Args:
+        sim: Shared simulation loop.
+        spec: Instance resources and parallelism.
+        on_request_done: Callback fired when a request's last token is
+            generated.
+        reserve_full_context: Reserve KV for the final context length at
+            admission (True, default) or only the current context with
+            growth on demand (False — vLLM-style optimistic admission;
+            an append failure then preempts the youngest request).
+        name: Identifier for reporting.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        spec: InstanceSpec,
+        on_request_done: Callable[[RequestState], None],
+        reserve_full_context: bool = True,
+        name: str = "decode-0",
+    ) -> None:
+        self._sim = sim
+        self.spec = spec
+        self.name = name
+        self._on_done = on_request_done
+        self._reserve_full = reserve_full_context
+        self._waiting: "Deque[RequestState]" = deque()
+        self._active: "list[RequestState]" = []
+        self._active_ids: "set[int]" = set()
+        self._kv: KVBlockManager = spec.make_kv_manager()
+        self._coeffs = spec.latency_coeffs
+        self._jitter = spec.make_jitter(name)
+        self._alive = True
+        self._stepping = False
+        # Instrumentation.
+        self.steps_executed = 0
+        self.busy_time = 0.0
+        self.preemptions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def load(self) -> int:
+        """Active plus waiting requests — the dispatch load signal."""
+        return len(self._active) + len(self._waiting)
+
+    @property
+    def active_batch_size(self) -> int:
+        return len(self._active)
+
+    def kv_capacity_tokens(self) -> int:
+        return self._kv.total_blocks * self._kv.block_size
+
+    def kv_free_tokens(self) -> int:
+        return self._kv.free_blocks * self._kv.block_size
+
+    def can_reserve(self, state: RequestState, extra_blocks: int = 0) -> bool:
+        """Whether admitting ``state`` now would find KV space.
+
+        Used by the orchestration layer's *pull* policy: the KV transfer
+        is initiated only when this returns True. ``extra_blocks``
+        accounts for reservations already promised to in-flight transfers.
+        """
+        need = self._reservation_tokens(state)
+        need_blocks = -(-need // self._kv.block_size)
+        return need_blocks + extra_blocks <= self._kv.free_blocks
+
+    def reservation_blocks(self, state: RequestState) -> int:
+        """Blocks a future admission of ``state`` will consume."""
+        return -(-self._reservation_tokens(state) // self._kv.block_size)
+
+    def _reservation_tokens(self, state: RequestState) -> int:
+        if self._reserve_full:
+            return state.request.total_tokens
+        return state.context_len
+
+    # ------------------------------------------------------------------
+    def submit(self, state: RequestState) -> None:
+        """Accept a request whose KV cache has arrived.
+
+        The caller (orchestration layer) is expected to have gated the
+        transfer on :meth:`can_reserve`; if space ran out anyway the
+        request waits unreserved and is admitted when memory frees.
+        """
+        state.phase = RequestPhase.WAITING_DECODE
+        state.stamp("decode_enqueue", self._sim.now)
+        self._waiting.append(state)
+        self._kick()
+
+    # ------------------------------------------------------------------
+    def _admit(self) -> None:
+        while self._waiting and len(self._active) < self.spec.max_batch_size:
+            head = self._waiting[0]
+            need = self._reservation_tokens(head)
+            if not self._kv.can_allocate(need):
+                break
+            self._kv.allocate(head.request_id, need)
+            self._waiting.popleft()
+            head.phase = RequestPhase.DECODING
+            head.stamp("decode_start", self._sim.now)
+            self._active.append(head)
+            self._active_ids.add(head.request_id)
+
+    def _kick(self) -> None:
+        if self._stepping or not self._alive:
+            return
+        self._admit()
+        if not self._active:
+            return
+        self._stepping = True
+        self._run_step()
+
+    def _microbatch_contexts(self) -> "list[int]":
+        """Context lengths of one steady-state micro-batch."""
+        pp = self.spec.config.pp
+        size = -(-len(self._active) // pp)
+        return [s.context_len for s in self._active[:size]]
+
+    def _run_step(self) -> None:
+        contexts = self._microbatch_contexts()
+        times = decode_times(
+            self.spec.model,
+            self.spec.config,
+            self._coeffs,
+            contexts,
+            tp_link=self.spec.tp_link,
+            pp_link=self.spec.pp_link,
+        )
+        duration = times.request_latency * self._jitter()
+        self.steps_executed += 1
+        self.busy_time += duration
+        batch = list(self._active)
+        self._sim.schedule(duration, lambda: self._finish_step(batch))
+
+    def _finish_step(self, batch: "list[RequestState]") -> None:
+        if not self._alive:
+            return  # the instance died mid-step; victims re-routed
+        finished: "list[RequestState]" = []
+        for state in batch:
+            if state.request_id not in self._active_ids:
+                continue  # preempted mid-step
+            if not self._reserve_full:
+                if not self._kv.can_append(state.request_id):
+                    self._preempt_youngest()
+                    if state.request_id not in self._active_ids:
+                        continue
+                    if not self._kv.can_append(state.request_id):
+                        continue  # skip this token; retried next step
+                self._kv.append(state.request_id)
+            state.record_token(self._sim.now)
+            if state.is_finished:
+                finished.append(state)
+        for state in finished:
+            self._active.remove(state)
+            self._active_ids.discard(state.request_id)
+            self._kv.free(state.request_id)
+            state.phase = RequestPhase.FINISHED
+            self._on_done(state)
+        self._admit()
+        if self._active:
+            self._run_step()
+        else:
+            self._stepping = False
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def fail(self) -> "list[RequestState]":
+        """Kill the instance; return requests needing recovery.
+
+        Active and waiting requests lose their KV caches: each must
+        re-run prefill over its full current context (prompt plus tokens
+        generated so far) before decoding can resume — the fault
+        *propagation* the paper warns about (§4.3): one decode failure
+        creates a prefill load spike.
+        """
+        self._alive = False
+        victims = list(self._active) + list(self._waiting)
+        for state in victims:
+            self._kv.free(state.request_id)
+            state.recompute_len = state.context_len
+        self._active.clear()
+        self._active_ids.clear()
+        self._waiting.clear()
+        self._stepping = False
+        return victims
+
+    def _preempt_youngest(self) -> None:
+        """vLLM-style recompute preemption of the most recent admission."""
+        if not self._active:
+            return
+        victim = self._active.pop()
+        self._active_ids.discard(victim.request_id)
+        self._kv.free(victim.request_id)
+        victim.phase = RequestPhase.WAITING_DECODE
+        self._waiting.appendleft(victim)
+        self.preemptions += 1

@@ -1,0 +1,90 @@
+"""Discrete-event simulation core: virtual clock and event queue.
+
+The placement search (§4.1) relies on a simulator because "gauging the
+SLO via real-testbed profiling is time-prohibitive". This is that
+simulator's engine: a min-heap of timestamped callbacks and a virtual
+clock. Events scheduled at equal times fire in scheduling order (a
+monotonic tiebreaker keeps the heap stable and deterministic).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+__all__ = ["Simulation"]
+
+
+class Simulation:
+    """A deterministic discrete-event simulation loop.
+
+    Usage::
+
+        sim = Simulation()
+        sim.schedule(1.5, lambda: ...)   # fire 1.5 s from now
+        sim.run()                        # drain all events
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: "list[tuple[float, int, Callable[[], None]]]" = []
+        self._counter = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time, seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (instrumentation)."""
+        return self._events_processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to fire ``delay`` seconds from now.
+
+        Raises:
+            ValueError: on negative delay — events cannot fire in the past.
+        """
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        heapq.heappush(self._heap, (self._now + delay, next(self._counter), callback))
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} < now {self._now}")
+        heapq.heappush(self._heap, (time, next(self._counter), callback))
+
+    def run(self, until: "float | None" = None, max_events: "int | None" = None) -> None:
+        """Execute events in time order.
+
+        Args:
+            until: Stop (without executing) events after this virtual time;
+                the clock is advanced to ``until``. ``None`` drains the queue.
+            max_events: Safety valve against runaway simulations.
+        """
+        executed = 0
+        while self._heap:
+            time, _seq, callback = self._heap[0]
+            if until is not None and time > until:
+                self._now = until
+                return
+            heapq.heappop(self._heap)
+            self._now = time
+            callback()
+            self._events_processed += 1
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                return
+        if until is not None and until > self._now:
+            self._now = until
+
+    def peek_time(self) -> "float | None":
+        """Timestamp of the next pending event, or None if idle."""
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)

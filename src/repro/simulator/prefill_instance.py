@@ -1,0 +1,244 @@
+"""Prefill instance: FCFS batching with pipeline conveyor and batch shaping.
+
+A prefill instance (§2.3) receives dispatched requests, runs only their
+prefill computation, emits the first output token, and parks the KV
+cache in its own GPU memory until the decode side *pulls* it (§4.3).
+
+Scheduling follows §4.3:
+
+* **FCFS** admission (default). The paper notes FCFS suffers a *convoy
+  effect* — long prompts block short ones — and points to preemptive
+  scheduling [41] as future work; the ``"sjf"`` queue policy implements
+  the non-preemptive variant (shortest prompt first, with aging to
+  prevent starvation) as that extension.
+* **Batch shaping**: requests are batched until the total prompt length
+  reaches the profiled saturation threshold ``L_m``; longer requests run
+  alone. This both preserves GPU efficiency (§3.1) and evens out stage
+  times to reduce pipeline bubbles (§3.3).
+* **Pipeline conveyor**: with ``pp`` stages, a new batch may enter every
+  ``stage_time`` seconds; a batch behind a slower one inherits the slower
+  cadence — the "bubble" effect of non-uniform prompt lengths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Deque
+from collections import deque
+
+from .events import Simulation
+from .instance import InstanceSpec
+from .kvcache import KVBlockManager
+from .request import RequestPhase, RequestState
+from ..latency.parallel import ExecutionTimes, prefill_times
+from ..latency.prefill import saturation_length
+
+__all__ = ["PrefillInstance"]
+
+
+class PrefillInstance:
+    """Simulated prefill-only model replica.
+
+    Args:
+        sim: The shared simulation loop.
+        spec: Instance resources and parallelism.
+        on_prefill_done: Callback invoked (with the request state) when a
+            request's first token is produced; the orchestration layer
+            then arranges the KV pull.
+        batch_token_limit: Override for the batch-shaping threshold
+            ``L_m`` (defaults to the profiled saturation length).
+        queue_policy: ``"fcfs"`` (paper default) or ``"sjf"``
+            (shortest-prompt-first with aging — the convoy-effect
+            mitigation the paper defers to future work).
+        sjf_aging: Seconds of queue wait equivalent to one prompt token
+            when ranking under ``"sjf"``; higher values age waiting
+            requests toward the front faster, bounding starvation.
+        name: Identifier for reporting.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        spec: InstanceSpec,
+        on_prefill_done: Callable[[RequestState], None],
+        batch_token_limit: "int | None" = None,
+        queue_policy: str = "fcfs",
+        sjf_aging: float = 2000.0,
+        name: str = "prefill-0",
+    ) -> None:
+        if queue_policy not in ("fcfs", "sjf"):
+            raise ValueError(
+                f"unknown queue_policy {queue_policy!r}; expected 'fcfs' or 'sjf'"
+            )
+        if sjf_aging < 0:
+            raise ValueError(f"sjf_aging must be >= 0, got {sjf_aging}")
+        self._sim = sim
+        self.spec = spec
+        self.name = name
+        self._on_done = on_prefill_done
+        self._policy = queue_policy
+        self._aging = sjf_aging
+        self._queue: "Deque[RequestState]" = deque()
+        self._kv: KVBlockManager = spec.make_kv_manager()
+        self._coeffs = spec.latency_coeffs
+        self._limit = (
+            batch_token_limit
+            if batch_token_limit is not None
+            else saturation_length(spec.model, self._coeffs, tp=spec.config.tp)
+        )
+        self._jitter = spec.make_jitter(name)
+        self._alive = True
+        self._in_flight_states: "dict[int, RequestState]" = {}
+        # Pipeline conveyor state.
+        self._next_admit_time = 0.0
+        self._prev_stage_time = 0.0
+        self._in_flight = 0
+        self._scheduler_armed = False
+        # Instrumentation.
+        self.batches_executed = 0
+        self.busy_time = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_len(self) -> int:
+        """Requests waiting or in flight — the dispatch load signal."""
+        return len(self._queue) + self._in_flight
+
+    @property
+    def batch_token_limit(self) -> int:
+        return self._limit
+
+    def kv_tokens_held(self) -> int:
+        """KV tokens parked on this instance awaiting pull."""
+        return self._kv.used_blocks * self._kv.block_size
+
+    # ------------------------------------------------------------------
+    def submit(self, state: RequestState) -> None:
+        """Accept a dispatched request (FCFS)."""
+        state.phase = RequestPhase.WAITING_PREFILL
+        state.stamp("prefill_enqueue", self._sim.now)
+        self._queue.append(state)
+        self._arm_scheduler()
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def fail(self) -> "list[RequestState]":
+        """Kill the instance; return requests needing re-routing.
+
+        Victims are the queued requests plus any batch in flight; their
+        (partial) KV caches on this instance are lost, so in-flight ones
+        must re-run their prefill elsewhere. KV parked for completed
+        requests is also lost — the orchestration layer handles those via
+        its pending-pull bookkeeping.
+        """
+        self._alive = False
+        victims = list(self._queue) + list(self._in_flight_states.values())
+        self._queue.clear()
+        self._in_flight_states.clear()
+        self._in_flight = 0
+        return victims
+
+    def release_kv(self, request_id: int) -> None:
+        """Free a parked KV cache after the decode side pulled it."""
+        self._kv.free(request_id)
+        self._arm_scheduler()
+
+    # ------------------------------------------------------------------
+    def _arm_scheduler(self) -> None:
+        if self._scheduler_armed:
+            return
+        self._scheduler_armed = True
+        delay = max(0.0, self._next_admit_time - self._sim.now)
+        self._sim.schedule(delay, self._try_schedule)
+
+    def _reorder_sjf(self) -> None:
+        """Rank the queue shortest-prompt-first with wait-time aging.
+
+        Effective rank = prompt length - aging * wait; a long prompt that
+        has waited ``input_len / aging`` seconds outranks a fresh short
+        one, bounding starvation.
+        """
+        now = self._sim.now
+        ordered = sorted(
+            self._queue,
+            key=lambda s: s.prefill_len
+            - self._aging * (now - s.timestamps.get("prefill_enqueue", now)),
+        )
+        self._queue = deque(ordered)
+
+    def _form_batch(self) -> "list[RequestState]":
+        """Pop a prefix of the queue respecting the L_m token budget."""
+        if self._policy == "sjf" and len(self._queue) > 1:
+            self._reorder_sjf()
+        batch: "list[RequestState]" = []
+        total = 0
+        while self._queue:
+            head = self._queue[0]
+            need = head.prefill_len
+            if batch and total + need > self._limit:
+                break
+            if not self._kv.can_allocate(need):
+                break
+            self._kv.allocate(head.request_id, need)
+            batch.append(self._queue.popleft())
+            total += need
+        return batch
+
+    def _try_schedule(self) -> None:
+        self._scheduler_armed = False
+        if not self._alive or not self._queue:
+            return
+        if self._sim.now < self._next_admit_time:
+            self._arm_scheduler()
+            return
+        batch = self._form_batch()
+        if not batch:
+            # Head-of-line request cannot get KV space; retry on release.
+            return
+        lens = [s.prefill_len for s in batch]
+        times = prefill_times(
+            self.spec.model,
+            self.spec.config,
+            self._coeffs,
+            lens,
+            tp_link=self.spec.tp_link,
+            pp_link=self.spec.pp_link,
+        )
+        start = self._sim.now
+        noise = self._jitter()
+        times = ExecutionTimes(
+            request_latency=times.request_latency * noise,
+            stage_time=times.stage_time * noise,
+        )
+        # A batch behind a slower one inherits the slower cadence (bubble).
+        gap = max(times.stage_time, self._prev_stage_time)
+        self._next_admit_time = start + gap
+        self._prev_stage_time = times.stage_time
+        self._in_flight += 1
+        self.batches_executed += 1
+        self.busy_time += times.stage_time
+        for state in batch:
+            state.phase = RequestPhase.PREFILLING
+            state.stamp("prefill_start", start)
+            self._in_flight_states[state.request_id] = state
+        finish = start + times.request_latency
+
+        def _complete() -> None:
+            if not self._alive:
+                return  # the instance died mid-batch; victims re-routed
+            self._in_flight -= 1
+            for state in batch:
+                self._in_flight_states.pop(state.request_id, None)
+                state.stamp("prefill_end", self._sim.now)
+                state.recompute_len = None
+                if state.generated == 0:
+                    state.record_token(self._sim.now)  # the first output token
+                state.phase = RequestPhase.TRANSFERRING
+                self._on_done(state)
+            self._arm_scheduler()
+
+        self._sim.schedule_at(finish, _complete)
+        # More work may fit the pipeline immediately after the gap.
+        if self._queue:
+            self._arm_scheduler()

@@ -1,0 +1,117 @@
+"""Time-series telemetry for simulated instances.
+
+Production serving systems export gauges — queue depth, running batch
+size, KV utilization — that operators watch and the replanning profiler
+consumes. :class:`TelemetryRecorder` samples any set of named gauges on
+a fixed virtual-time cadence and offers summary statistics, so tests
+and benchmarks can assert on *dynamics* (e.g. "decode batch size grew
+after the burst") rather than only end-state aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .events import Simulation
+
+__all__ = ["GaugeSeries", "TelemetryRecorder"]
+
+
+@dataclass
+class GaugeSeries:
+    """Samples of one gauge: parallel arrays of times and values."""
+
+    name: str
+    times: "list[float]"
+    values: "list[float]"
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"gauge {self.name!r} has no samples")
+        return float(np.mean(self.values))
+
+    def max(self) -> float:
+        if not self.values:
+            raise ValueError(f"gauge {self.name!r} has no samples")
+        return float(np.max(self.values))
+
+    def percentile(self, q: float) -> float:
+        if not self.values:
+            raise ValueError(f"gauge {self.name!r} has no samples")
+        return float(np.percentile(self.values, q))
+
+    def value_at(self, time: float) -> float:
+        """Last sampled value at or before ``time`` (step interpolation)."""
+        if not self.times:
+            raise ValueError(f"gauge {self.name!r} has no samples")
+        idx = int(np.searchsorted(self.times, time, side="right")) - 1
+        if idx < 0:
+            raise ValueError(f"no sample of {self.name!r} at or before {time}")
+        return self.values[idx]
+
+
+class TelemetryRecorder:
+    """Samples named gauges every ``interval`` seconds of virtual time.
+
+    Usage::
+
+        recorder = TelemetryRecorder(sim, interval=0.5)
+        recorder.register("decode_batch", lambda: inst.active_batch_size)
+        recorder.start(until=120.0)
+        sim.run()
+        series = recorder.series("decode_batch")
+    """
+
+    def __init__(self, sim: Simulation, interval: float = 1.0) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self._sim = sim
+        self._interval = interval
+        self._gauges: "dict[str, Callable[[], float]]" = {}
+        self._series: "dict[str, GaugeSeries]" = {}
+        self._running = False
+        self._until = 0.0
+
+    def register(self, name: str, fn: "Callable[[], float]") -> None:
+        """Add a gauge; must happen before :meth:`start`."""
+        if self._running:
+            raise RuntimeError("cannot register gauges after start()")
+        if name in self._gauges:
+            raise ValueError(f"gauge {name!r} already registered")
+        self._gauges[name] = fn
+        self._series[name] = GaugeSeries(name=name, times=[], values=[])
+
+    def start(self, until: float) -> None:
+        """Begin sampling now and stop after virtual time ``until``."""
+        if self._running:
+            raise RuntimeError("recorder already started")
+        if not self._gauges:
+            raise RuntimeError("no gauges registered")
+        self._running = True
+        self._until = until
+        self._sample()
+
+    def _sample(self) -> None:
+        now = self._sim.now
+        for name, fn in self._gauges.items():
+            series = self._series[name]
+            series.times.append(now)
+            series.values.append(float(fn()))
+        if now + self._interval <= self._until:
+            self._sim.schedule(self._interval, self._sample)
+
+    def series(self, name: str) -> GaugeSeries:
+        """The recorded series for one gauge."""
+        if name not in self._series:
+            known = ", ".join(sorted(self._series))
+            raise KeyError(f"unknown gauge {name!r}; known: {known}")
+        return self._series[name]
+
+    def names(self) -> "list[str]":
+        return sorted(self._series)

@@ -1,0 +1,60 @@
+"""Workload modeling: length distributions, datasets, arrivals, traces, SLOs."""
+
+from .arrivals import (
+    gamma_arrivals,
+    piecewise_rate_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+from .datasets import (
+    DATASETS,
+    HUMANEVAL,
+    LONGBENCH,
+    SHAREGPT,
+    SyntheticDataset,
+    fixed_length_dataset,
+    generate_trace,
+    get_dataset,
+)
+from .distributions import (
+    EmpiricalLength,
+    FixedLength,
+    LengthDistribution,
+    LognormalLength,
+    MixtureLength,
+    UniformLength,
+)
+from .fitting import FittedWorkload, fit_lognormal, fit_trace
+from .slos import SLO, TABLE1_WORKLOADS, WorkloadSpec, get_workload
+from .trace import Request, Trace, TraceStats
+
+__all__ = [
+    "gamma_arrivals",
+    "piecewise_rate_arrivals",
+    "poisson_arrivals",
+    "uniform_arrivals",
+    "DATASETS",
+    "HUMANEVAL",
+    "LONGBENCH",
+    "SHAREGPT",
+    "SyntheticDataset",
+    "fixed_length_dataset",
+    "generate_trace",
+    "get_dataset",
+    "EmpiricalLength",
+    "FixedLength",
+    "LengthDistribution",
+    "LognormalLength",
+    "MixtureLength",
+    "UniformLength",
+    "FittedWorkload",
+    "fit_lognormal",
+    "fit_trace",
+    "SLO",
+    "TABLE1_WORKLOADS",
+    "WorkloadSpec",
+    "get_workload",
+    "Request",
+    "Trace",
+    "TraceStats",
+]

@@ -1,0 +1,151 @@
+"""Synthetic datasets matching the paper's three applications (Figure 7).
+
+Offline we cannot ship ShareGPT / HumanEval / LongBench, so each dataset
+is a pair of length distributions fitted to the marginals in Figure 7:
+
+* **ShareGPT** (chatbot): moderate prompts with a heavy tail (conversations
+  accumulate context), outputs of a few hundred tokens.
+* **HumanEval** (code completion): short prompts (function signature +
+  docstring), short-to-moderate completions.
+* **LongBench** (summarization): *much* longer inputs than the others —
+  thousands of tokens — with short summaries out.
+
+:func:`generate_trace` combines a dataset with an arrival process to
+produce a simulator-ready :class:`~repro.workload.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .arrivals import gamma_arrivals, poisson_arrivals, uniform_arrivals
+from .distributions import (
+    FixedLength,
+    LengthDistribution,
+    LognormalLength,
+    MixtureLength,
+)
+from .trace import Request, Trace
+
+__all__ = [
+    "SyntheticDataset",
+    "SHAREGPT",
+    "HUMANEVAL",
+    "LONGBENCH",
+    "DATASETS",
+    "get_dataset",
+    "fixed_length_dataset",
+    "generate_trace",
+]
+
+
+@dataclass(frozen=True)
+class SyntheticDataset:
+    """A named pair of (input, output) length distributions."""
+
+    name: str
+    input_dist: LengthDistribution
+    output_dist: LengthDistribution
+
+    def sample_lengths(
+        self, rng: np.random.Generator, size: int
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Draw ``size`` (input_len, output_len) pairs."""
+        return self.input_dist.sample(rng, size), self.output_dist.sample(rng, size)
+
+
+SHAREGPT = SyntheticDataset(
+    name="sharegpt",
+    # Bimodal prompts: fresh questions (short) plus multi-turn context
+    # (a moderate tail within the 2k window), matching Figure 7(a):
+    # mean ~240 tokens, p90 ~550, p99 ~1.1k.
+    input_dist=MixtureLength(
+        components=(
+            LognormalLength(median=100, sigma=0.75, low=4, high=1024),
+            LognormalLength(median=350, sigma=0.5, low=32, high=1536),
+        ),
+        weights=(0.6, 0.4),
+    ),
+    output_dist=LognormalLength(median=190, sigma=0.7, low=2, high=1024),
+)
+
+HUMANEVAL = SyntheticDataset(
+    name="humaneval",
+    input_dist=LognormalLength(median=120, sigma=0.45, low=16, high=1024),
+    output_dist=LognormalLength(median=60, sigma=0.6, low=4, high=512),
+)
+
+LONGBENCH = SyntheticDataset(
+    name="longbench",
+    # Long-document summarization: inputs an order of magnitude beyond
+    # the chat workloads (truncated toward the serving context window,
+    # as the paper's OPT models require), short summaries out.
+    input_dist=LognormalLength(median=1800, sigma=0.5, low=256, high=6000),
+    output_dist=LognormalLength(median=180, sigma=0.5, low=8, high=1024),
+)
+
+DATASETS: "dict[str, SyntheticDataset]" = {
+    d.name: d for d in (SHAREGPT, HUMANEVAL, LONGBENCH)
+}
+
+
+def get_dataset(name: str) -> SyntheticDataset:
+    """Look up a dataset by case-insensitive name."""
+    key = name.lower()
+    if key not in DATASETS:
+        known = ", ".join(sorted(DATASETS))
+        raise KeyError(f"unknown dataset {name!r}; known datasets: {known}")
+    return DATASETS[key]
+
+
+def fixed_length_dataset(input_len: int, output_len: int) -> SyntheticDataset:
+    """A dataset of identical requests (used by Figure 1's synthetic workload)."""
+    return SyntheticDataset(
+        name=f"fixed-{input_len}x{output_len}",
+        input_dist=FixedLength(input_len),
+        output_dist=FixedLength(output_len),
+    )
+
+
+def generate_trace(
+    dataset: SyntheticDataset,
+    rate: float,
+    num_requests: int,
+    rng: np.random.Generator,
+    arrival_process: str = "poisson",
+    burst_cv: float = 1.0,
+) -> Trace:
+    """Sample a trace: lengths from ``dataset``, arrivals from the process.
+
+    Args:
+        dataset: Length distributions to draw from.
+        rate: Mean arrival rate, requests/second.
+        num_requests: Trace length.
+        rng: Seeded generator — identical seeds yield identical traces.
+        arrival_process: ``"poisson"``, ``"gamma"``, or ``"uniform"``.
+        burst_cv: Coefficient of variation for the gamma process.
+    """
+    if arrival_process == "poisson":
+        times = poisson_arrivals(rate, num_requests, rng)
+    elif arrival_process == "gamma":
+        times = gamma_arrivals(rate, num_requests, burst_cv, rng)
+    elif arrival_process == "uniform":
+        times = uniform_arrivals(rate, num_requests)
+    else:
+        raise ValueError(
+            f"unknown arrival_process {arrival_process!r}; "
+            "expected 'poisson', 'gamma', or 'uniform'"
+        )
+    inputs, outputs = dataset.sample_lengths(rng, num_requests)
+    requests = [
+        Request(
+            request_id=i,
+            arrival_time=float(times[i]),
+            input_len=int(inputs[i]),
+            output_len=int(outputs[i]),
+        )
+        for i in range(num_requests)
+    ]
+    return Trace(requests=requests)

@@ -1,0 +1,161 @@
+"""Token-length distributions for synthetic workload generation.
+
+The paper samples requests from ShareGPT, HumanEval and LongBench; we
+have no dataset files offline, so we reproduce the input/output length
+*marginals* shown in Figure 7 with parametric distributions (clipped
+lognormals and mixtures). Every distribution draws from an explicit
+``numpy.random.Generator`` — no global RNG state.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "LengthDistribution",
+    "FixedLength",
+    "UniformLength",
+    "LognormalLength",
+    "MixtureLength",
+    "EmpiricalLength",
+]
+
+
+class LengthDistribution(abc.ABC):
+    """A distribution over positive integer token counts."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` integer lengths (dtype int64, all >= 1)."""
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected length (after clipping)."""
+
+
+@dataclass(frozen=True)
+class FixedLength(LengthDistribution):
+    """Every request has exactly ``length`` tokens."""
+
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError(f"length must be >= 1, got {self.length}")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.full(size, self.length, dtype=np.int64)
+
+    def mean(self) -> float:
+        return float(self.length)
+
+
+@dataclass(frozen=True)
+class UniformLength(LengthDistribution):
+    """Uniform integer lengths in ``[low, high]`` inclusive."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.low <= self.high:
+            raise ValueError(f"need 1 <= low <= high, got [{self.low}, {self.high}]")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.integers(self.low, self.high + 1, size=size, dtype=np.int64)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+@dataclass(frozen=True)
+class LognormalLength(LengthDistribution):
+    """Clipped lognormal — the canonical fit for LLM prompt lengths.
+
+    Attributes:
+        median: Median token count (``exp(mu)``).
+        sigma: Log-space standard deviation (tail heaviness).
+        low: Minimum length after clipping.
+        high: Maximum length after clipping.
+    """
+
+    median: float
+    sigma: float
+    low: int = 1
+    high: int = 32768
+
+    def __post_init__(self) -> None:
+        if self.median <= 0 or self.sigma <= 0:
+            raise ValueError("median and sigma must be positive")
+        if not 1 <= self.low <= self.high:
+            raise ValueError(f"need 1 <= low <= high, got [{self.low}, {self.high}]")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        raw = rng.lognormal(mean=np.log(self.median), sigma=self.sigma, size=size)
+        return np.clip(np.rint(raw), self.low, self.high).astype(np.int64)
+
+    def mean(self) -> float:
+        # Analytic lognormal mean, a good approximation when clipping is mild.
+        return float(
+            np.clip(self.median * np.exp(self.sigma**2 / 2.0), self.low, self.high)
+        )
+
+
+@dataclass(frozen=True)
+class MixtureLength(LengthDistribution):
+    """Weighted mixture of component length distributions."""
+
+    components: "tuple[LengthDistribution, ...]"
+    weights: "tuple[float, ...]"
+
+    def __post_init__(self) -> None:
+        if len(self.components) != len(self.weights) or not self.components:
+            raise ValueError("components and weights must be non-empty, same length")
+        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+            raise ValueError("weights must be non-negative with positive sum")
+
+    def _probs(self) -> np.ndarray:
+        w = np.asarray(self.weights, dtype=float)
+        return w / w.sum()
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        choices = rng.choice(len(self.components), size=size, p=self._probs())
+        out = np.empty(size, dtype=np.int64)
+        for idx, comp in enumerate(self.components):
+            mask = choices == idx
+            count = int(mask.sum())
+            if count:
+                out[mask] = comp.sample(rng, count)
+        return out
+
+    def mean(self) -> float:
+        probs = self._probs()
+        return float(sum(p * c.mean() for p, c in zip(probs, self.components)))
+
+
+@dataclass(frozen=True)
+class EmpiricalLength(LengthDistribution):
+    """Resampling distribution over observed lengths (used by replanning).
+
+    DistServe "fits a distribution from the history request traces and
+    resamples new traces" (§4.1); bootstrap resampling of the empirical
+    length histogram is the simplest faithful realization.
+    """
+
+    observations: "tuple[int, ...]"
+
+    def __post_init__(self) -> None:
+        if not self.observations:
+            raise ValueError("observations must be non-empty")
+        if any(obs < 1 for obs in self.observations):
+            raise ValueError("observed lengths must be >= 1")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        data = np.asarray(self.observations, dtype=np.int64)
+        return rng.choice(data, size=size, replace=True)
+
+    def mean(self) -> float:
+        return float(np.mean(self.observations))

@@ -1,0 +1,83 @@
+"""Trace fitting and resampling (the §4.1 / §4.3 workload profiler).
+
+DistServe "fits a distribution from the history request traces and
+resamples new traces from the distribution as the input workload to the
+simulator". We fit each length marginal empirically (bootstrap) or as a
+lognormal (method of moments in log space), estimate the arrival rate,
+and resample fresh traces for placement search and replanning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .datasets import SyntheticDataset, generate_trace
+from .distributions import EmpiricalLength, LognormalLength
+from .trace import Trace
+
+__all__ = ["FittedWorkload", "fit_trace", "fit_lognormal"]
+
+
+def fit_lognormal(lengths: "list[int]", low: int = 1, high: int = 32768) -> LognormalLength:
+    """Method-of-moments lognormal fit in log space.
+
+    Raises:
+        ValueError: on fewer than 2 observations (sigma undefined).
+    """
+    if len(lengths) < 2:
+        raise ValueError("need at least 2 observations to fit a lognormal")
+    logs = np.log(np.asarray(lengths, dtype=float))
+    sigma = float(logs.std(ddof=1))
+    return LognormalLength(
+        median=float(np.exp(logs.mean())),
+        sigma=max(sigma, 1e-3),
+        low=low,
+        high=high,
+    )
+
+
+@dataclass(frozen=True)
+class FittedWorkload:
+    """A fitted model of an observed trace, ready to resample."""
+
+    dataset: SyntheticDataset
+    arrival_rate: float
+
+    def resample(
+        self, num_requests: int, rng: np.random.Generator, rate: "float | None" = None
+    ) -> Trace:
+        """Draw a fresh trace at the fitted (or overridden) arrival rate."""
+        return generate_trace(
+            self.dataset,
+            rate=self.arrival_rate if rate is None else rate,
+            num_requests=num_requests,
+            rng=rng,
+        )
+
+
+def fit_trace(trace: Trace, method: str = "empirical") -> FittedWorkload:
+    """Fit a generative workload model to an observed trace.
+
+    Args:
+        trace: Observed requests (needs >= 2 for a rate estimate).
+        method: ``"empirical"`` bootstrap-resamples the observed lengths;
+            ``"lognormal"`` fits parametric marginals.
+    """
+    if len(trace) < 2:
+        raise ValueError("need at least 2 requests to fit a workload")
+    inputs = [r.input_len for r in trace]
+    outputs = [r.output_len for r in trace]
+    if method == "empirical":
+        input_dist = EmpiricalLength(tuple(inputs))
+        output_dist = EmpiricalLength(tuple(outputs))
+    elif method == "lognormal":
+        input_dist = fit_lognormal(inputs)
+        output_dist = fit_lognormal(outputs)
+    else:
+        raise ValueError(f"unknown method {method!r}; expected 'empirical' or 'lognormal'")
+    dataset = SyntheticDataset(
+        name=f"fitted-{method}", input_dist=input_dist, output_dist=output_dist
+    )
+    return FittedWorkload(dataset=dataset, arrival_rate=trace.arrival_rate)

@@ -1,0 +1,70 @@
+"""Service-level objectives for the paper's applications (Table 1).
+
+Each application imposes a TTFT bound on the prefill phase and a TPOT
+bound on the decoding phase. Figure 8's second row scales both bounds
+simultaneously by an *SLO Scale* factor; :meth:`SLO.scaled` implements
+that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SLO", "WorkloadSpec", "TABLE1_WORKLOADS", "get_workload"]
+
+
+@dataclass(frozen=True)
+class SLO:
+    """Latency objectives for one application.
+
+    Attributes:
+        ttft: Time-to-first-token bound, seconds.
+        tpot: Time-per-output-token bound, seconds.
+    """
+
+    ttft: float
+    tpot: float
+
+    def __post_init__(self) -> None:
+        if self.ttft <= 0 or self.tpot <= 0:
+            raise ValueError(f"SLO bounds must be positive, got {self}")
+
+    def scaled(self, scale: float) -> "SLO":
+        """Both bounds multiplied by ``scale`` (<1 is more stringent)."""
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        return SLO(ttft=self.ttft * scale, tpot=self.tpot * scale)
+
+    def is_met(self, ttft: float, tpot: float) -> bool:
+        """Whether a request with the given latencies attains both SLOs."""
+        return ttft <= self.ttft and tpot <= self.tpot
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One row of Table 1: application, model, SLOs, dataset name."""
+
+    application: str
+    model_name: str
+    slo: SLO
+    dataset_name: str
+
+
+TABLE1_WORKLOADS: "tuple[WorkloadSpec, ...]" = (
+    WorkloadSpec("chatbot", "opt-13b", SLO(ttft=0.2, tpot=0.1), "sharegpt"),
+    WorkloadSpec("chatbot", "opt-66b", SLO(ttft=0.4, tpot=0.1), "sharegpt"),
+    WorkloadSpec("chatbot", "opt-175b", SLO(ttft=4.0, tpot=0.2), "sharegpt"),
+    WorkloadSpec("code-completion", "opt-66b", SLO(ttft=0.125, tpot=0.2), "humaneval"),
+    WorkloadSpec("summarization", "opt-66b", SLO(ttft=15.0, tpot=0.15), "longbench"),
+)
+
+
+def get_workload(application: str, model_name: str) -> WorkloadSpec:
+    """Look up a Table 1 row by application and model name."""
+    for spec in TABLE1_WORKLOADS:
+        if spec.application == application and spec.model_name == model_name.lower():
+            return spec
+    known = ", ".join(f"({w.application}, {w.model_name})" for w in TABLE1_WORKLOADS)
+    raise KeyError(
+        f"no workload ({application!r}, {model_name!r}); known pairs: {known}"
+    )

@@ -1,0 +1,146 @@
+"""Request and trace containers shared by generators, engines, analysis.
+
+A :class:`Request` is the static description of one query — when it
+arrives, how many prompt tokens it carries, and how many tokens it will
+generate. A :class:`Trace` is an arrival-ordered sequence of requests
+with convenience statistics. The simulator consumes traces; the workload
+profiler (§4.3 replanning) summarizes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Request", "Trace", "TraceStats"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One LLM query.
+
+    Attributes:
+        request_id: Unique, monotonically increasing identifier.
+        arrival_time: Seconds since trace start.
+        input_len: Prompt tokens (prefill size).
+        output_len: Tokens generated in the decoding phase (>= 1; the
+            first output token is produced by prefill, the remaining
+            ``output_len - 1`` by decode steps).
+    """
+
+    request_id: int
+    arrival_time: float
+    input_len: int
+    output_len: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ValueError(f"arrival_time must be >= 0, got {self.arrival_time}")
+        if self.input_len < 1:
+            raise ValueError(f"input_len must be >= 1, got {self.input_len}")
+        if self.output_len < 1:
+            raise ValueError(f"output_len must be >= 1, got {self.output_len}")
+
+    @property
+    def total_tokens(self) -> int:
+        """Prompt plus generated tokens — the final context length."""
+        return self.input_len + self.output_len
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of a trace (the §4.3 workload profiler output)."""
+
+    num_requests: int
+    duration: float
+    arrival_rate: float
+    mean_input_len: float
+    mean_output_len: float
+    p90_input_len: float
+    p90_output_len: float
+
+
+@dataclass
+class Trace:
+    """An arrival-time-ordered sequence of requests."""
+
+    requests: "list[Request]" = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        times = [r.arrival_time for r in self.requests]
+        if any(b < a for a, b in zip(times, times[1:])):
+            self.requests = sorted(self.requests, key=lambda r: r.arrival_time)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    def __getitem__(self, idx: int) -> Request:
+        return self.requests[idx]
+
+    @property
+    def duration(self) -> float:
+        """Time of the last arrival (0 for an empty trace)."""
+        return self.requests[-1].arrival_time if self.requests else 0.0
+
+    @property
+    def arrival_rate(self) -> float:
+        """Average requests/second over the trace span."""
+        if len(self.requests) <= 1 or self.duration == 0:
+            return 0.0
+        return (len(self.requests) - 1) / self.duration
+
+    def stats(self) -> TraceStats:
+        """Summarize the trace for profiling and replanning decisions."""
+        if not self.requests:
+            return TraceStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        inputs = np.array([r.input_len for r in self.requests], dtype=float)
+        outputs = np.array([r.output_len for r in self.requests], dtype=float)
+        return TraceStats(
+            num_requests=len(self.requests),
+            duration=self.duration,
+            arrival_rate=self.arrival_rate,
+            mean_input_len=float(inputs.mean()),
+            mean_output_len=float(outputs.mean()),
+            p90_input_len=float(np.percentile(inputs, 90)),
+            p90_output_len=float(np.percentile(outputs, 90)),
+        )
+
+    def scaled_to_rate(self, target_rate: float) -> "Trace":
+        """Return a copy whose arrival times are compressed/stretched so the
+        average arrival rate equals ``target_rate`` (lengths unchanged).
+
+        This is how rate sweeps reuse one sampled trace, keeping length
+        draws fixed across rates for lower-variance comparisons.
+        """
+        if target_rate <= 0:
+            raise ValueError(f"target_rate must be positive, got {target_rate}")
+        current = self.arrival_rate
+        if current == 0:
+            raise ValueError("cannot rescale a trace with zero arrival rate")
+        factor = current / target_rate
+        return Trace(
+            requests=[
+                Request(
+                    request_id=r.request_id,
+                    arrival_time=r.arrival_time * factor,
+                    input_len=r.input_len,
+                    output_len=r.output_len,
+                )
+                for r in self.requests
+            ]
+        )
+
+    def slice_time(self, start: float, end: float) -> "Trace":
+        """Requests arriving in ``[start, end)``, times re-based to start."""
+        if end < start:
+            raise ValueError(f"end {end} < start {start}")
+        picked = [
+            Request(r.request_id, r.arrival_time - start, r.input_len, r.output_len)
+            for r in self.requests
+            if start <= r.arrival_time < end
+        ]
+        return Trace(requests=picked)

@@ -1,0 +1,50 @@
+"""Shared fixtures: small models and cheap coefficients for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware import A100_80GB
+from repro.latency import ParallelismConfig, coefficients_from_roofline
+from repro.models import ModelArchitecture, get_model
+from repro.simulator import InstanceSpec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_model() -> ModelArchitecture:
+    """A small architecture keeping simulations fast."""
+    return ModelArchitecture(
+        name="tiny-1b",
+        num_layers=16,
+        hidden_size=2048,
+        num_heads=16,
+        ffn_size=8192,
+        vocab_size=32000,
+        max_seq_len=2048,
+    )
+
+
+@pytest.fixture
+def opt13b() -> ModelArchitecture:
+    return get_model("opt-13b")
+
+
+@pytest.fixture
+def opt66b() -> ModelArchitecture:
+    return get_model("opt-66b")
+
+
+@pytest.fixture
+def coeffs():
+    return coefficients_from_roofline(A100_80GB)
+
+
+@pytest.fixture
+def tiny_spec(tiny_model) -> InstanceSpec:
+    return InstanceSpec(model=tiny_model, config=ParallelismConfig(1, 1))

@@ -1,0 +1,191 @@
+"""Tests for SLO attainment, percentiles, breakdowns, and report tables."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    cdf_points,
+    format_series,
+    format_table,
+    latency_breakdown,
+    latency_summary,
+    slo_attainment,
+    tpot_percentile,
+    ttft_percentile,
+)
+from repro.simulator import RequestRecord
+from repro.workload import SLO
+
+
+def make_record(request_id, ttft, tpot, **kw):
+    defaults = dict(
+        arrival_time=0.0,
+        input_len=100,
+        output_len=10,
+        finish_time=ttft + tpot * 9,
+        prefill_queue_time=0.1 * ttft,
+        prefill_exec_time=0.9 * ttft,
+        transfer_time=0.0,
+        decode_queue_time=0.0,
+        decode_exec_time=tpot * 9,
+    )
+    defaults.update(kw)
+    return RequestRecord(request_id=request_id, ttft=ttft, tpot=tpot, **defaults)
+
+
+class TestSLOAttainment:
+    def test_counts_each_category(self):
+        slo = SLO(ttft=0.2, tpot=0.1)
+        records = [
+            make_record(0, 0.1, 0.05),   # meets both
+            make_record(1, 0.3, 0.05),   # TTFT violated
+            make_record(2, 0.1, 0.2),    # TPOT violated
+            make_record(3, 0.3, 0.2),    # both violated
+        ]
+        rep = slo_attainment(records, slo)
+        assert rep.total == 0.25
+        assert rep.ttft_only == 0.5
+        assert rep.tpot_only == 0.5
+
+    def test_unfinished_count_as_violations(self):
+        slo = SLO(ttft=1.0, tpot=1.0)
+        records = [make_record(0, 0.1, 0.05)]
+        rep = slo_attainment(records, slo, num_expected=4)
+        assert rep.total == 0.25
+
+    def test_num_expected_below_records_rejected(self):
+        slo = SLO(ttft=1.0, tpot=1.0)
+        with pytest.raises(ValueError):
+            slo_attainment([make_record(0, 0.1, 0.05)] * 2, slo, num_expected=1)
+
+    def test_empty(self):
+        rep = slo_attainment([], SLO(1.0, 1.0))
+        assert rep.total == 1.0 and rep.num_requests == 0
+
+    def test_boundary_inclusive(self):
+        slo = SLO(ttft=0.2, tpot=0.1)
+        rep = slo_attainment([make_record(0, 0.2, 0.1)], slo)
+        assert rep.total == 1.0
+
+
+class TestPercentiles:
+    def test_percentile_values(self):
+        records = [make_record(i, ttft=0.01 * (i + 1), tpot=0.001 * (i + 1)) for i in range(100)]
+        assert ttft_percentile(records, 50) == pytest.approx(0.505, rel=0.02)
+        assert tpot_percentile(records, 90) == pytest.approx(0.0901, rel=0.02)
+
+    def test_summary_keys(self):
+        records = [make_record(i, 0.1, 0.02) for i in range(10)]
+        s = latency_summary(records)
+        for key in ("ttft_mean", "ttft_p90", "tpot_p99", "e2e_p50"):
+            assert key in s
+        assert s["ttft_mean"] == pytest.approx(0.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ttft_percentile([])
+
+    def test_cdf_points(self):
+        xs, ys = cdf_points([3.0, 1.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert list(ys) == pytest.approx([1 / 3, 2 / 3, 1.0])
+        with pytest.raises(ValueError):
+            cdf_points([])
+
+
+class TestBreakdown:
+    def test_sums_and_fractions(self):
+        records = [make_record(i, 0.2, 0.05) for i in range(4)]
+        bd = latency_breakdown(records)
+        assert bd.total == pytest.approx(
+            sum(r.end_to_end_latency for r in records)
+        )
+        fr = bd.fractions()
+        assert sum(fr.values()) == pytest.approx(1.0)
+        assert fr["decode_exec"] > fr["transfer"] == 0.0
+
+    def test_empty_breakdown(self):
+        bd = latency_breakdown([])
+        assert bd.total == 0.0
+        assert all(v == 0.0 for v in bd.fractions().values())
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(
+            ["name", "value"], [["a", 1.5], ["bb", 2.25]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.500" in out and "2.250" in out
+
+    def test_format_table_row_length_check(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_series(self):
+        out = format_series("rate", [1, 2], {"sys": [0.5, 0.25]})
+        assert "rate" in out and "sys" in out and "0.250" in out
+
+    def test_format_series_short_column_nan(self):
+        out = format_series("x", [1, 2], {"y": [0.5]})
+        assert "nan" in out
+
+
+class TestRecordValidation:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            make_record(0, -0.1, 0.05)
+
+    def test_nan_stage_rejected(self):
+        with pytest.raises(ValueError):
+            make_record(0, 0.1, 0.05, transfer_time=math.nan)
+
+
+class TestFidelity:
+    def _run(self, jitter, seed=3):
+        import numpy as np
+
+        from repro.models import ModelArchitecture
+        from repro.serving import DisaggregatedSystem, simulate_trace
+        from repro.simulator import InstanceSpec, Simulation
+        from repro.workload import fixed_length_dataset, generate_trace
+
+        model = ModelArchitecture("fid-1b", 16, 2048, 16, 8192)
+        spec = InstanceSpec(model=model, jitter_sigma=jitter)
+        trace = generate_trace(
+            fixed_length_dataset(256, 16), rate=8.0, num_requests=100,
+            rng=np.random.default_rng(seed),
+        )
+        sim = Simulation()
+        res = simulate_trace(DisaggregatedSystem(sim, spec, spec), trace)
+        return res.records
+
+    def test_identical_runs_zero_error(self):
+        from repro.analysis import compare_runs
+
+        records = self._run(jitter=0.0)
+        report = compare_runs(records, records, SLO(ttft=0.5, tpot=0.2))
+        assert report.attainment_error == 0.0
+        assert report.ttft_mean_rel_error == 0.0
+        assert report.matched_requests == 100
+
+    def test_jittered_run_small_error(self):
+        from repro.analysis import compare_runs
+
+        clean = self._run(jitter=0.0)
+        noisy = self._run(jitter=0.05)
+        report = compare_runs(noisy, clean, SLO(ttft=0.5, tpot=0.2))
+        assert report.matched_requests == 100
+        assert report.attainment_error < 0.1
+        assert report.ttft_mean_rel_error < 0.25
+
+    def test_disjoint_runs_rejected(self):
+        from repro.analysis import compare_runs
+
+        a = [make_record(1, 0.1, 0.01)]
+        b = [make_record(2, 0.1, 0.01)]
+        with pytest.raises(ValueError):
+            compare_runs(a, b, SLO(1.0, 1.0))

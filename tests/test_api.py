@@ -1,0 +1,88 @@
+"""Tests for the OpenAI-compatible API frontend."""
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    APIFrontend,
+    ColocatedSystem,
+    CompletionRequest,
+    DisaggregatedSystem,
+    count_tokens,
+)
+from repro.simulator import Simulation
+
+
+class TestTokenizer:
+    def test_count_scales_with_length(self):
+        assert count_tokens("abcd" * 10) == 10
+        assert count_tokens("abcde") == 2
+
+    def test_minimum_one_token(self):
+        assert count_tokens("a") == 1
+
+
+class TestCompletionRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompletionRequest(prompt="")
+        with pytest.raises(ValueError):
+            CompletionRequest(prompt="hi", max_tokens=0)
+        with pytest.raises(ValueError):
+            CompletionRequest(prompt="hi", temperature=-1.0)
+
+    def test_temperature_zero_deterministic(self):
+        req = CompletionRequest(prompt="hi", max_tokens=50, stop_probability=0.1)
+        req0 = CompletionRequest(
+            prompt="hi", max_tokens=50, temperature=0.0, stop_probability=0.1
+        )
+        rng_a, rng_b = np.random.default_rng(1), np.random.default_rng(2)
+        assert req0.sample_output_len(rng_a) == req0.sample_output_len(rng_b) == 10
+        lengths = {req.sample_output_len(np.random.default_rng(s)) for s in range(20)}
+        assert len(lengths) > 1  # temperature > 0 samples vary
+
+    def test_max_tokens_caps_output(self):
+        req = CompletionRequest(prompt="hi", max_tokens=3, stop_probability=0.001)
+        rng = np.random.default_rng(0)
+        assert all(req.sample_output_len(rng) <= 3 for _ in range(50))
+
+
+class TestAPIFrontend:
+    def _frontend(self, tiny_spec, system_cls):
+        sim = Simulation()
+        if system_cls is ColocatedSystem:
+            system = ColocatedSystem(sim, tiny_spec)
+        else:
+            system = DisaggregatedSystem(sim, tiny_spec, tiny_spec)
+        return sim, APIFrontend(sim, system, seed=0)
+
+    @pytest.mark.parametrize("system_cls", [ColocatedSystem, DisaggregatedSystem])
+    def test_round_trip(self, tiny_spec, system_cls):
+        sim, api = self._frontend(tiny_spec, system_cls)
+        ids = [
+            api.submit_at(0.1 * i, CompletionRequest(prompt="hello " * 30, max_tokens=8))
+            for i in range(5)
+        ]
+        sim.run()
+        responses = api.responses()
+        assert sorted(r.request_id for r in responses) == ids
+        for resp in responses:
+            assert resp.prompt_tokens == count_tokens("hello " * 30)
+            assert 1 <= resp.completion_tokens <= 8
+            assert resp.finish_time >= resp.first_token_time >= resp.created
+            assert resp.ttft > 0
+
+    def test_responses_idempotent(self, tiny_spec):
+        sim, api = self._frontend(tiny_spec, ColocatedSystem)
+        api.submit_at(0.0, CompletionRequest(prompt="hi there friend"))
+        sim.run()
+        assert len(api.responses()) == 1
+        assert len(api.responses()) == 1
+
+    def test_streaming_order(self, tiny_spec):
+        sim, api = self._frontend(tiny_spec, DisaggregatedSystem)
+        api.submit_at(0.0, CompletionRequest(prompt="x" * 400, max_tokens=16))
+        sim.run()
+        resp = api.responses()[0]
+        # First token comes from prefill; the rest stream afterwards.
+        assert resp.record.ttft <= resp.record.end_to_end_latency

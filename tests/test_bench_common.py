@@ -1,0 +1,69 @@
+"""Tests for the benchmark helper layer (no expensive searches)."""
+
+import pytest
+
+from benchmarks.common import (
+    VLLM_TP,
+    _placement_from_json,
+    _placement_to_json,
+    goodput_from_sweep,
+    vllm_system_factory,
+)
+from repro.analysis import AttainmentReport
+from repro.core import PhasePlan, Placement
+from repro.latency import ParallelismConfig
+from repro.simulator import Simulation
+
+
+def report(total):
+    return AttainmentReport(total=total, ttft_only=total, tpot_only=total, num_requests=10)
+
+
+class TestGoodputFromSweep:
+    def test_picks_last_passing_rate(self):
+        rates = [1.0, 2.0, 3.0, 4.0]
+        reports = [report(1.0), report(0.95), report(0.85), report(0.2)]
+        assert goodput_from_sweep(rates, reports) == 2.0
+
+    def test_zero_when_nothing_passes(self):
+        assert goodput_from_sweep([1.0], [report(0.5)]) == 0.0
+
+    def test_non_monotone_curves(self):
+        # A noisy dip below target mid-sweep does not hide a later pass.
+        rates = [1.0, 2.0, 3.0]
+        reports = [report(0.95), report(0.89), report(0.91)]
+        assert goodput_from_sweep(rates, reports) == 3.0
+
+
+class TestPlacementSerialization:
+    def test_roundtrip(self):
+        placement = Placement(
+            prefill=PhasePlan(ParallelismConfig(3, 2), 2, 4.5),
+            decode=PhasePlan(ParallelismConfig(4, 2), 1, 9.0),
+            kv_transfer_intra_node=True,
+        )
+        restored = _placement_from_json(_placement_to_json(placement))
+        assert restored == placement
+
+    def test_json_is_plain_data(self):
+        placement = Placement(
+            prefill=PhasePlan(ParallelismConfig(1, 1), 1, 1.0),
+            decode=PhasePlan(ParallelismConfig(1, 1), 1, 1.0),
+        )
+        import json
+
+        blob = json.dumps(_placement_to_json(placement))
+        assert "prefill" in blob
+
+
+class TestVLLMBaseline:
+    def test_paper_tp_settings(self):
+        # §6.1: intra-op 1, 4, 8 for the three OPT models.
+        assert VLLM_TP == {"opt-13b": 1, "opt-66b": 4, "opt-175b": 8}
+
+    @pytest.mark.parametrize("model_name", ["opt-13b", "opt-66b"])
+    def test_factory_gpu_accounting(self, model_name):
+        factory, gpus = vllm_system_factory(model_name, num_replicas=2)
+        assert gpus == VLLM_TP[model_name] * 2
+        system = factory(Simulation())
+        assert system.num_gpus() == gpus

@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.model == "opt-13b"
+        assert args.rate == 2.0
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["deploy"])
+
+
+class TestCommands:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "opt-13b" in out and "opt-175b" in out
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", "--model", "opt-13b", "--input-len", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "saturation length" in out
+        assert "tp=2" in out
+
+    def test_serve_small(self, capsys):
+        code = main(
+            [
+                "serve", "--model", "opt-1.3b", "--rate", "4.0",
+                "--requests", "30", "--ttft", "0.5", "--tpot", "0.2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "30/30 requests" in out
+        assert "SLO attainment" in out
+
+    def test_serve_unknown_model(self):
+        with pytest.raises(KeyError):
+            main(["serve", "--model", "gpt-5"])

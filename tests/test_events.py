@@ -1,0 +1,94 @@
+"""Tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.simulator import Simulation
+
+
+class TestSimulation:
+    def test_events_fire_in_time_order(self):
+        sim = Simulation()
+        log = []
+        sim.schedule(3.0, lambda: log.append("c"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_equal_times_fire_in_schedule_order(self):
+        sim = Simulation()
+        log = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: log.append(i))
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulation()
+        log = []
+
+        def first():
+            log.append(("first", sim.now))
+            sim.schedule(1.0, lambda: log.append(("second", sim.now)))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == [("first", 1.0), ("second", 2.0)]
+
+    def test_run_until_stops_and_advances_clock(self):
+        sim = Simulation()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(5.0, lambda: log.append(5))
+        sim.run(until=3.0)
+        assert log == [1]
+        assert sim.now == 3.0
+        sim.run()
+        assert log == [1, 5]
+
+    def test_max_events_limit(self):
+        sim = Simulation()
+        count = []
+
+        def recur():
+            count.append(1)
+            sim.schedule(1.0, recur)
+
+        sim.schedule(0.0, recur)
+        sim.run(max_events=10)
+        assert len(count) == 10
+
+    def test_negative_delay_rejected(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulation()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_peek_and_len(self):
+        sim = Simulation()
+        assert sim.peek_time() is None
+        assert len(sim) == 0
+        sim.schedule(2.0, lambda: None)
+        assert sim.peek_time() == 2.0
+        assert len(sim) == 1
+
+    def test_events_processed_counter(self):
+        sim = Simulation()
+        for _ in range(7):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 7

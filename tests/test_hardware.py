@@ -1,0 +1,113 @@
+"""Tests for repro.hardware: GPU specs, links, cluster topology."""
+
+import pytest
+
+from repro.hardware import (
+    A100_80GB,
+    ETHERNET_25G,
+    GPUId,
+    INFINIBAND_800G,
+    LOOPBACK,
+    NVLINK,
+    Cluster,
+    GPUSpec,
+    LinkType,
+    NetworkLink,
+    Node,
+    get_gpu,
+    high_affinity_cluster,
+    paper_testbed,
+    transfer_time,
+)
+
+
+class TestGPUSpec:
+    def test_a100_ridge_point_near_published(self):
+        # FP16 roofline ridge of A100-80GB is ~153 FLOPs/byte ("over 156"
+        # in Appendix A with slightly different constants).
+        assert 130 < A100_80GB.ridge_intensity < 180
+
+    def test_effective_rates_below_peak(self):
+        assert A100_80GB.effective_flops < A100_80GB.peak_flops
+        assert A100_80GB.effective_bandwidth < A100_80GB.memory_bandwidth
+
+    def test_registry_lookup(self):
+        assert get_gpu("A100-80GB") is A100_80GB
+        with pytest.raises(KeyError):
+            get_gpu("tpu-v9")
+
+    def test_invalid_utilization(self):
+        with pytest.raises(ValueError):
+            GPUSpec("bad", 1, 1.0, 1.0, 1.0, mfu=0.0)
+
+
+class TestNetworkLink:
+    def test_time_scales_with_bytes(self):
+        t1 = NVLINK.time_for(1e9)
+        t2 = NVLINK.time_for(2e9)
+        assert t2 > t1
+        assert t2 - NVLINK.latency == pytest.approx(2 * (t1 - NVLINK.latency))
+
+    def test_zero_bytes_free(self):
+        assert NVLINK.time_for(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            NVLINK.time_for(-1)
+
+    def test_link_ordering(self):
+        # NVLink must beat InfiniBand must beat 25G Ethernet for 1 GB.
+        gb = 1e9
+        assert NVLINK.time_for(gb) < INFINIBAND_800G.time_for(gb) < ETHERNET_25G.time_for(gb)
+
+    def test_transfer_time_wrapper(self):
+        assert transfer_time(1e6, LOOPBACK) < 1e-4
+
+    def test_invalid_link(self):
+        with pytest.raises(ValueError):
+            NetworkLink("bad", bandwidth=0.0, latency=0.0)
+
+
+class TestCluster:
+    def test_paper_testbed_shape(self):
+        c = paper_testbed()
+        assert c.num_nodes == 4
+        assert c.gpus_per_node == 8
+        assert c.num_gpus == 32
+        assert not c.has_fast_cross_node
+
+    def test_high_affinity_cluster(self):
+        c = high_affinity_cluster()
+        assert c.has_fast_cross_node
+
+    def test_link_classification(self):
+        c = paper_testbed()
+        a, b = GPUId(0, 0), GPUId(0, 5)
+        other = GPUId(2, 0)
+        assert c.link_type(a, a) is LinkType.SAME_GPU
+        assert c.link_type(a, b) is LinkType.NVLINK
+        assert c.link_type(a, other) is LinkType.CROSS_NODE
+        assert c.link_between(a, b) is c.intra_node_link
+        assert c.link_between(a, other) is c.cross_node_link
+        assert c.link_between(a, a) is LOOPBACK
+
+    def test_all_gpu_ids_unique(self):
+        c = paper_testbed()
+        ids = c.all_gpu_ids()
+        assert len(ids) == len(set(ids)) == 32
+
+    def test_heterogeneous_nodes_rejected(self):
+        with pytest.raises(ValueError, match="heterogeneous"):
+            Cluster(nodes=[Node(0, 8), Node(1, 4)])
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster(nodes=[])
+
+    def test_node_gpu_ids(self):
+        node = Node(index=1, num_gpus=4)
+        assert node.gpu_ids() == [GPUId(1, i) for i in range(4)]
+
+    def test_invalid_gpu_id(self):
+        with pytest.raises(ValueError):
+            GPUId(-1, 0)

@@ -1,0 +1,104 @@
+"""Tests for the paged KV-cache block manager."""
+
+import pytest
+
+from repro.simulator import KVBlockManager, OutOfBlocksError
+
+
+class TestKVBlockManager:
+    def test_allocation_rounds_to_blocks(self):
+        kv = KVBlockManager(total_blocks=10, block_size=16)
+        kv.allocate(1, 17)  # needs 2 blocks
+        assert kv.used_blocks == 2
+        assert kv.free_blocks == 8
+        assert kv.tokens_of(1) == 17
+
+    def test_exact_block_boundary(self):
+        kv = KVBlockManager(total_blocks=4, block_size=16)
+        kv.allocate(1, 32)
+        assert kv.used_blocks == 2
+
+    def test_out_of_blocks(self):
+        kv = KVBlockManager(total_blocks=2, block_size=16)
+        with pytest.raises(OutOfBlocksError):
+            kv.allocate(1, 33)
+        assert kv.used_blocks == 0  # failed allocation leaves no residue
+
+    def test_double_allocate_rejected(self):
+        kv = KVBlockManager(total_blocks=10)
+        kv.allocate(1, 5)
+        with pytest.raises(ValueError):
+            kv.allocate(1, 5)
+
+    def test_append_within_block_free(self):
+        kv = KVBlockManager(total_blocks=10, block_size=16)
+        kv.allocate(1, 10)
+        kv.append(1, 5)
+        assert kv.used_blocks == 1
+        kv.append(1, 2)  # crosses into a second block
+        assert kv.used_blocks == 2
+        assert kv.tokens_of(1) == 17
+
+    def test_append_unknown_request(self):
+        kv = KVBlockManager(total_blocks=10)
+        with pytest.raises(KeyError):
+            kv.append(42)
+
+    def test_append_out_of_blocks(self):
+        kv = KVBlockManager(total_blocks=1, block_size=4)
+        kv.allocate(1, 4)
+        with pytest.raises(OutOfBlocksError):
+            kv.append(1)
+
+    def test_can_append_semantics(self):
+        kv = KVBlockManager(total_blocks=1, block_size=4)
+        kv.allocate(1, 3)
+        assert kv.can_append(1)       # still room in the block
+        kv.append(1)
+        assert not kv.can_append(1)   # next token needs a new block
+        assert not kv.can_append(99)  # unknown request
+
+    def test_free_is_idempotent(self):
+        kv = KVBlockManager(total_blocks=10, block_size=16)
+        kv.allocate(1, 20)
+        assert kv.free(1) == 2
+        assert kv.free(1) == 0
+        assert kv.used_blocks == 0
+
+    def test_free_enables_reuse(self):
+        kv = KVBlockManager(total_blocks=2, block_size=16)
+        kv.allocate(1, 32)
+        assert not kv.can_allocate(1)
+        kv.free(1)
+        kv.allocate(2, 32)
+        assert kv.tokens_of(2) == 32
+
+    def test_utilization(self):
+        kv = KVBlockManager(total_blocks=4, block_size=16)
+        assert kv.utilization == 0.0
+        kv.allocate(1, 32)
+        assert kv.utilization == 0.5
+        empty = KVBlockManager(total_blocks=0)
+        assert empty.utilization == 1.0
+
+    def test_holders_ordering(self):
+        kv = KVBlockManager(total_blocks=10)
+        kv.allocate(3, 1)
+        kv.allocate(1, 1)
+        kv.allocate(2, 1)
+        assert kv.holders() == [3, 1, 2]
+
+    def test_conservation_invariant(self):
+        kv = KVBlockManager(total_blocks=100, block_size=8)
+        for i in range(10):
+            kv.allocate(i, 8 * (i + 1))
+        for i in range(0, 10, 2):
+            kv.free(i)
+        assert kv.used_blocks + kv.free_blocks == kv.total_blocks
+        assert kv.used_blocks == sum(i + 1 for i in range(1, 10, 2))
+
+    def test_invalid_constructions(self):
+        with pytest.raises(ValueError):
+            KVBlockManager(total_blocks=-1)
+        with pytest.raises(ValueError):
+            KVBlockManager(total_blocks=1, block_size=0)

@@ -1,0 +1,89 @@
+"""Tests for multi-server queueing approximations and the cost model."""
+
+import pytest
+
+from repro.core import CostModel, PhasePlan, Placement, compare_cost, cost_per_request
+from repro.latency import ParallelismConfig
+from repro.queueing import (
+    erlang_c,
+    md1_waiting_time,
+    mdc_waiting_time,
+    mmc_waiting_time,
+    mm1_waiting_time,
+    split_queue_waiting_time,
+)
+
+
+class TestMDC:
+    def test_erlang_c_single_server_is_rho(self):
+        # For c=1, P(wait) = rho.
+        assert erlang_c(4.0, 0.1, 1) == pytest.approx(0.4)
+
+    def test_mmc_c1_matches_mm1(self):
+        assert mmc_waiting_time(4.0, 0.1, 1) == pytest.approx(
+            mm1_waiting_time(4.0, 0.1)
+        )
+
+    def test_mdc_c1_matches_md1(self):
+        assert mdc_waiting_time(4.0, 0.1, 1) == pytest.approx(
+            md1_waiting_time(4.0, 0.1)
+        )
+
+    def test_more_servers_less_wait_at_same_load_per_server(self):
+        # Same per-server utilization, pooled: wait drops with c.
+        w1 = mdc_waiting_time(8.0, 0.1, 1)
+        w2 = mdc_waiting_time(16.0, 0.1, 2)
+        w4 = mdc_waiting_time(32.0, 0.1, 4)
+        assert w1 > w2 > w4
+
+    def test_pooling_beats_splitting(self):
+        # §3.2's R -> R/N split model is pessimistic vs a pooled queue.
+        rate, d, n = 30.0, 0.1, 4
+        pooled = mdc_waiting_time(rate, d, n)
+        split = split_queue_waiting_time(rate, d, n)
+        assert pooled < split
+
+    def test_split_matches_md1_at_reduced_rate(self):
+        assert split_queue_waiting_time(8.0, 0.1, 4) == pytest.approx(
+            md1_waiting_time(2.0, 0.1)
+        )
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError, match="unstable"):
+            mmc_waiting_time(25.0, 0.1, 2)
+        with pytest.raises(ValueError):
+            mdc_waiting_time(1.0, 0.1, 0)
+
+
+class TestCostModel:
+    def test_cost_per_request_arithmetic(self):
+        # 1 req/s/GPU at $3.6/hour -> $0.001 per request.
+        model = CostModel(gpu_hourly_usd=3.6)
+        assert cost_per_request(1.0, model) == pytest.approx(0.001)
+
+    def test_higher_goodput_cheaper(self):
+        assert cost_per_request(4.0) < cost_per_request(1.0)
+
+    def test_utilization_headroom_raises_cost(self):
+        full = cost_per_request(2.0, CostModel(utilization_target=1.0))
+        padded = cost_per_request(2.0, CostModel(utilization_target=0.5))
+        assert padded == pytest.approx(2 * full)
+
+    def test_zero_goodput_rejected(self):
+        with pytest.raises(ValueError):
+            cost_per_request(0.0)
+
+    def test_compare_cost_savings_factor(self):
+        placement = Placement(
+            prefill=PhasePlan(ParallelismConfig(2, 1), 1, 6.0),
+            decode=PhasePlan(ParallelismConfig(1, 1), 1, 6.0),
+        )  # 3 GPUs, 6 req/s -> 2 req/s/GPU
+        out = compare_cost(placement, baseline_per_gpu_goodput=0.5)
+        assert out["savings_factor"] == pytest.approx(4.0)
+        assert out["placement_cost"] < out["baseline_cost"]
+
+    def test_invalid_model(self):
+        with pytest.raises(ValueError):
+            CostModel(gpu_hourly_usd=0.0)
+        with pytest.raises(ValueError):
+            CostModel(utilization_target=0.0)

@@ -1,0 +1,169 @@
+"""Tests for repro.models: architecture math, registry, memory budgets."""
+
+import dataclasses
+
+import pytest
+
+from repro.hardware import A100_80GB
+from repro.models import (
+    ModelArchitecture,
+    MemoryBudget,
+    compute_memory_budget,
+    fits_in_memory,
+    get_model,
+    list_models,
+    max_kv_tokens,
+    register_model,
+)
+
+
+class TestModelArchitecture:
+    def test_head_size_consistency(self, opt13b):
+        assert opt13b.head_size * opt13b.num_heads == opt13b.hidden_size
+
+    def test_param_count_matches_published_size(self):
+        # Registry entries should land within 10% of their nominal size.
+        for name, expected_b in [
+            ("opt-13b", 13e9),
+            ("opt-66b", 66e9),
+            ("opt-175b", 175e9),
+            ("llama-7b", 7e9),
+            ("llama-65b", 65e9),
+        ]:
+            model = get_model(name)
+            assert model.num_params == pytest.approx(expected_b, rel=0.10), name
+
+    def test_weight_bytes_fp16(self, opt13b):
+        assert opt13b.weight_bytes == opt13b.num_params * 2
+
+    def test_kv_bytes_per_token_matches_paper_example(self, opt66b):
+        # §3.3: a 512-token request on OPT-66B carries ~1.13 GB of KV cache.
+        total = opt66b.kv_bytes_per_token * 512
+        assert 0.9e9 < total < 1.4e9
+
+    def test_prefill_flops_scale_superlinearly(self, opt13b):
+        # Quadratic attention: doubling tokens more than doubles FLOPs.
+        f1 = opt13b.prefill_flops(1024)
+        f2 = opt13b.prefill_flops(2048)
+        assert f2 > 2 * f1
+
+    def test_prefill_flops_zero_tokens(self, opt13b):
+        assert opt13b.prefill_flops(0) == 0.0
+
+    def test_prefill_flops_rejects_negative(self, opt13b):
+        with pytest.raises(ValueError):
+            opt13b.prefill_flops(-1)
+
+    def test_decode_flops_linear_in_batch(self, opt13b):
+        f1 = opt13b.decode_flops(8)
+        f2 = opt13b.decode_flops(16)
+        assert f2 == pytest.approx(2 * f1)
+
+    def test_decode_flops_context_term(self, opt13b):
+        without = opt13b.decode_flops(4)
+        with_ctx = opt13b.decode_flops(4, context_lens=[100, 100, 100, 100])
+        assert with_ctx > without
+
+    def test_shard_divides_dimensions(self, opt66b):
+        view = opt66b.shard(4)
+        assert view.hidden_size == opt66b.hidden_size // 4
+        assert view.num_heads == opt66b.num_heads // 4
+        assert view.ffn_size == opt66b.ffn_size // 4
+        assert view.num_layers == opt66b.num_layers
+        assert view.head_size == opt66b.head_size
+
+    def test_shard_identity(self, opt13b):
+        assert opt13b.shard(1) is opt13b
+
+    def test_shard_rejects_non_divisor(self, opt13b):
+        # opt-13b has 40 heads; 16 does not divide it.
+        with pytest.raises(ValueError):
+            opt13b.shard(16)
+
+    def test_double_shard_rejected(self, opt66b):
+        with pytest.raises(ValueError):
+            opt66b.shard(2).shard(2)
+
+    def test_layers_per_stage_ceil(self, opt13b):
+        # 40 layers over 3 stages -> slowest stage has 14.
+        assert opt13b.layers_per_stage(3) == 14
+        assert opt13b.layers_per_stage(1) == 40
+
+    def test_invalid_constructions(self):
+        with pytest.raises(ValueError):
+            ModelArchitecture("bad", 0, 128, 4, 512)
+        with pytest.raises(ValueError):
+            ModelArchitecture("bad", 2, 130, 4, 512)  # 130 % 4 != 0
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_model("OPT-13B").name == "opt-13b"
+
+    def test_unknown_model_lists_known(self):
+        with pytest.raises(KeyError, match="opt-13b"):
+            get_model("gpt-99t")
+
+    def test_list_models_sorted(self):
+        names = list_models()
+        assert names == sorted(names)
+        assert "opt-175b" in names
+
+    def test_register_and_overwrite_guard(self, tiny_model):
+        register_model(tiny_model, overwrite=True)
+        assert get_model("tiny-1b") == tiny_model
+        with pytest.raises(ValueError):
+            register_model(tiny_model)
+
+    def test_register_rejects_sharded(self, opt66b):
+        with pytest.raises(ValueError):
+            register_model(opt66b.shard(2))
+
+
+class TestMemory:
+    def test_budget_partitions_capacity(self, opt13b):
+        cap = A100_80GB.memory_bytes
+        budget = compute_memory_budget(opt13b, cap)
+        assert (
+            budget.weight_bytes_per_gpu + budget.reserved_bytes + budget.kv_budget_bytes
+            == cap
+        )
+
+    def test_parallelism_shrinks_weights_and_grows_kv(self, opt66b):
+        cap = A100_80GB.memory_bytes
+        b2 = compute_memory_budget(opt66b, cap, tp_degree=2, pp_degree=1)
+        b4 = compute_memory_budget(opt66b, cap, tp_degree=2, pp_degree=2)
+        assert b4.weight_bytes_per_gpu < b2.weight_bytes_per_gpu
+        assert b4.max_kv_tokens > b2.max_kv_tokens
+
+    def test_oversized_model_raises(self, opt66b):
+        with pytest.raises(ValueError, match="does not fit"):
+            compute_memory_budget(opt66b, A100_80GB.memory_bytes, 1, 1)
+
+    def test_fits_in_memory_thresholds(self, opt66b):
+        cap = A100_80GB.memory_bytes
+        assert not fits_in_memory(opt66b, cap, 1, 1)  # 132 GB > 80 GB
+        assert fits_in_memory(opt66b, cap, 2, 1)
+
+    def test_175b_needs_at_least_six_gpus(self):
+        m = get_model("opt-175b")
+        cap = A100_80GB.memory_bytes
+        assert not fits_in_memory(m, cap, 4, 1)
+        assert fits_in_memory(m, cap, 8, 1)
+
+    def test_max_kv_tokens_positive_when_feasible(self, opt13b):
+        assert max_kv_tokens(opt13b, A100_80GB.memory_bytes) > 0
+
+    def test_invalid_overhead_fraction(self, opt13b):
+        with pytest.raises(ValueError):
+            compute_memory_budget(opt13b, A100_80GB.memory_bytes, overhead_fraction=1.0)
+
+    def test_max_kv_tokens_property(self):
+        b = MemoryBudget(
+            gpu_memory_bytes=100,
+            weight_bytes_per_gpu=50,
+            reserved_bytes=10,
+            kv_budget_bytes=40,
+            kv_bytes_per_token_per_gpu=7,
+        )
+        assert b.max_kv_tokens == 5

@@ -1,0 +1,175 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import slo_attainment
+from repro.hardware import A100_80GB, NVLINK
+from repro.latency import (
+    coefficients_from_roofline,
+    decode_step_latency,
+    mixed_batch_latency,
+    prefill_latency,
+)
+from repro.models import ModelArchitecture
+from repro.queueing import avg_ttft_inter_op, avg_ttft_intra_op, avg_ttft_single
+from repro.simulator import KVBlockManager, OutOfBlocksError, Simulation
+from repro.workload import SLO, LognormalLength, Request, Trace
+
+COEFFS = coefficients_from_roofline(A100_80GB)
+MODEL = ModelArchitecture("prop-model", 8, 1024, 8, 4096)
+
+lengths = st.lists(st.integers(min_value=1, max_value=2048), min_size=1, max_size=16)
+
+
+class TestLatencyProperties:
+    @given(lens=lengths)
+    @settings(max_examples=60, deadline=None)
+    def test_prefill_latency_positive_and_finite(self, lens):
+        lat = prefill_latency(MODEL, COEFFS, lens)
+        assert 0 < lat < 1e4
+
+    @given(lens=lengths, extra=st.integers(min_value=1, max_value=512))
+    @settings(max_examples=60, deadline=None)
+    def test_prefill_monotone_in_added_request(self, lens, extra):
+        assert prefill_latency(MODEL, COEFFS, lens + [extra]) > prefill_latency(
+            MODEL, COEFFS, lens
+        )
+
+    @given(ctx=lengths)
+    @settings(max_examples=60, deadline=None)
+    def test_decode_superadditive_split(self, ctx):
+        # Splitting a batch into two steps is never faster: batching helps.
+        whole = decode_step_latency(MODEL, COEFFS, ctx)
+        k = len(ctx) // 2
+        if k == 0:
+            return
+        split = decode_step_latency(MODEL, COEFFS, ctx[:k]) + decode_step_latency(
+            MODEL, COEFFS, ctx[k:]
+        )
+        assert whole <= split + 1e-12
+
+    @given(pre=lengths, ctx=lengths)
+    @settings(max_examples=60, deadline=None)
+    def test_mixed_dominates_components(self, pre, ctx):
+        # A mixed iteration costs at least as much as its decode part and
+        # at least as much as its prefill part alone.
+        mixed = mixed_batch_latency(MODEL, COEFFS, pre, ctx)
+        dec = mixed_batch_latency(MODEL, COEFFS, [], ctx)
+        pre_only = mixed_batch_latency(MODEL, COEFFS, pre, [])
+        assert mixed >= dec - 1e-12
+        assert mixed >= pre_only - 1e-12
+
+
+class TestQueueingProperties:
+    @given(
+        rate=st.floats(min_value=0.01, max_value=8.0),
+        d=st.floats(min_value=0.01, max_value=0.12),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_parallelism_never_hurts_average_ttft(self, rate, d):
+        if rate * d >= 0.99:
+            return
+        single = avg_ttft_single(rate, d)
+        assert avg_ttft_inter_op(rate, d, 2) <= single + 1e-12
+        assert avg_ttft_intra_op(rate, d, 1.5) <= single + 1e-12
+
+    @given(
+        rate=st.floats(min_value=0.01, max_value=5.0),
+        d=st.floats(min_value=0.01, max_value=0.15),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_ttft_at_least_execution_time(self, rate, d):
+        if rate * d >= 0.99:
+            return
+        assert avg_ttft_single(rate, d) >= d
+
+
+class TestKVManagerProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9),
+                st.sampled_from(["alloc", "append", "free"]),
+                st.integers(min_value=1, max_value=100),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_block_conservation_under_any_op_sequence(self, ops):
+        kv = KVBlockManager(total_blocks=32, block_size=8)
+        for rid, op, amount in ops:
+            try:
+                if op == "alloc":
+                    kv.allocate(rid, amount)
+                elif op == "append":
+                    kv.append(rid, amount)
+                else:
+                    kv.free(rid)
+            except (OutOfBlocksError, ValueError, KeyError):
+                pass
+            assert 0 <= kv.used_blocks <= kv.total_blocks
+            assert kv.used_blocks + kv.free_blocks == kv.total_blocks
+        # Freeing every holder returns the pool to empty.
+        for rid in list(kv.holders()):
+            kv.free(rid)
+        assert kv.used_blocks == 0
+
+
+class TestSimulationProperties:
+    @given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_events_observed_in_nondecreasing_time(self, delays):
+        sim = Simulation()
+        seen = []
+        for delay in delays:
+            sim.schedule(delay, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == sorted(seen)
+        assert len(seen) == len(delays)
+
+
+class TestWorkloadProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_lognormal_respects_clip(self, seed):
+        rng = np.random.default_rng(seed)
+        d = LognormalLength(median=100, sigma=1.5, low=8, high=512)
+        samples = d.sample(rng, 200)
+        assert samples.min() >= 8 and samples.max() <= 512
+
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=1e4), min_size=2, max_size=50
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_trace_always_sorted(self, times):
+        trace = Trace(
+            requests=[
+                Request(request_id=i, arrival_time=t, input_len=10, output_len=2)
+                for i, t in enumerate(times)
+            ]
+        )
+        arr = [r.arrival_time for r in trace]
+        assert arr == sorted(arr)
+
+
+class TestAttainmentProperties:
+    @given(
+        scale=st.floats(min_value=0.1, max_value=10.0),
+        ttfts=st.lists(st.floats(min_value=0.001, max_value=2.0), min_size=1, max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_attainment_monotone_in_slo(self, scale, ttfts):
+        from tests.test_analysis import make_record
+
+        records = [make_record(i, t, 0.01) for i, t in enumerate(ttfts)]
+        base = SLO(ttft=0.5, tpot=0.1)
+        looser = base.scaled(max(scale, 1.0))
+        tighter = base.scaled(min(scale, 1.0))
+        a_loose = slo_attainment(records, looser).total
+        a_tight = slo_attainment(records, tighter).total
+        assert a_loose >= a_tight

@@ -1,0 +1,110 @@
+"""Property-based tests over whole serving systems.
+
+For arbitrary small workloads, both serving architectures must conserve
+requests, deliver exact token counts, and respect causality — under any
+dispatch policy and parallelism configuration hypothesis picks.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.latency import ParallelismConfig
+from repro.models import ModelArchitecture
+from repro.serving import ColocatedSystem, DisaggregatedSystem, simulate_trace
+from repro.simulator import InstanceSpec, Simulation
+from repro.workload import Request, Trace
+
+MODEL = ModelArchitecture("prop-serve", 8, 1024, 8, 4096)
+
+requests_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=5.0),   # arrival
+        st.integers(min_value=1, max_value=1024),  # input_len
+        st.integers(min_value=1, max_value=64),    # output_len
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def make_trace(raw):
+    return Trace(
+        requests=[
+            Request(request_id=i, arrival_time=t, input_len=inp, output_len=out)
+            for i, (t, inp, out) in enumerate(raw)
+        ]
+    )
+
+
+def check_result(res, trace):
+    assert res.unfinished == 0
+    assert sorted(r.request_id for r in res.records) == sorted(
+        r.request_id for r in trace
+    )
+    by_id = {r.request_id: r for r in trace}
+    for rec in res.records:
+        origin = by_id[rec.request_id]
+        assert rec.output_len == origin.output_len
+        assert rec.ttft >= 0
+        assert rec.tpot >= 0
+        assert rec.finish_time >= origin.arrival_time + rec.ttft - 1e-9
+
+
+class TestServingConservation:
+    @given(raw=requests_strategy, policy=st.sampled_from(["prefill_priority", "combined", "chunked"]))
+    @settings(max_examples=40, deadline=None)
+    def test_colocated_conserves(self, raw, policy):
+        trace = make_trace(raw)
+        sim = Simulation()
+        spec = InstanceSpec(model=MODEL)
+        system = ColocatedSystem(sim, spec, policy=policy)
+        res = simulate_trace(system, trace, max_events=500_000)
+        check_result(res, trace)
+
+    @given(
+        raw=requests_strategy,
+        n_p=st.integers(min_value=1, max_value=3),
+        n_d=st.integers(min_value=1, max_value=3),
+        mode=st.sampled_from(["pull", "push"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_disaggregated_conserves(self, raw, n_p, n_d, mode):
+        trace = make_trace(raw)
+        sim = Simulation()
+        spec = InstanceSpec(model=MODEL)
+        system = DisaggregatedSystem(
+            sim, spec, spec, num_prefill=n_p, num_decode=n_d, transfer_mode=mode
+        )
+        res = simulate_trace(system, trace, max_events=500_000)
+        check_result(res, trace)
+
+    @given(
+        raw=requests_strategy,
+        tp=st.sampled_from([1, 2, 4]),
+        pp=st.sampled_from([1, 2]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_parallelism_variants_conserve(self, raw, tp, pp):
+        trace = make_trace(raw)
+        sim = Simulation()
+        spec = InstanceSpec(model=MODEL, config=ParallelismConfig(tp, pp))
+        system = DisaggregatedSystem(sim, spec, spec)
+        res = simulate_trace(system, trace, max_events=500_000)
+        check_result(res, trace)
+
+    @given(raw=requests_strategy, fail_at=st.floats(min_value=0.1, max_value=4.0))
+    @settings(max_examples=30, deadline=None)
+    def test_decode_failure_conserves(self, raw, fail_at):
+        trace = make_trace(raw)
+        sim = Simulation()
+        spec = InstanceSpec(model=MODEL)
+        system = DisaggregatedSystem(sim, spec, spec, num_prefill=2, num_decode=2)
+        for req in trace:
+            sim.schedule_at(req.arrival_time, lambda r=req: system.submit(r))
+        sim.schedule(fail_at, lambda: system.fail_decode("decode-1"))
+        sim.run(max_events=500_000)
+        assert len(system.records) == len(trace)
+        by_id = {r.request_id: r for r in trace}
+        for rec in system.records:
+            assert rec.output_len == by_id[rec.request_id].output_len

@@ -1,0 +1,114 @@
+"""Tests for the M/D/1 analysis of §3.1 (Eq. 1-3) and M/G/1 extras."""
+
+import math
+
+import pytest
+
+from repro.queueing import (
+    avg_ttft_inter_op,
+    avg_ttft_intra_op,
+    avg_ttft_single,
+    crossover_rate,
+    max_stable_rate,
+    md1_waiting_time,
+    mg1_waiting_time,
+    mm1_response_time,
+    mm1_waiting_time,
+)
+
+
+class TestMD1:
+    def test_zero_rate_no_wait(self):
+        assert md1_waiting_time(0.0, 0.1) == 0.0
+        assert avg_ttft_single(0.0, 0.1) == pytest.approx(0.1)
+
+    def test_eq1_closed_form(self):
+        # Direct check of Eq. 1 at R=4, D=0.1: W = 0.4*0.1/(2*0.6).
+        assert md1_waiting_time(4.0, 0.1) == pytest.approx(0.4 * 0.1 / 1.2)
+
+    def test_wait_diverges_near_saturation(self):
+        w_low = md1_waiting_time(1.0, 0.1)
+        w_high = md1_waiting_time(9.9, 0.1)
+        assert w_high > 50 * w_low
+
+    def test_unstable_queue_rejected(self):
+        with pytest.raises(ValueError, match="unstable"):
+            md1_waiting_time(10.0, 0.1)
+
+    def test_eq2_matches_paper_form_at_degree_2(self):
+        # Paper Eq. 2: D + R D^2 / (4 (2 - R D)).
+        r, d = 3.0, 0.1
+        expected = d + r * d * d / (4.0 * (2.0 - r * d))
+        assert avg_ttft_inter_op(r, d, degree=2) == pytest.approx(expected)
+
+    def test_eq3_matches_paper_form(self):
+        # Paper Eq. 3: D/K + R D^2 / (2 K (K - R D)).
+        r, d, k = 3.0, 0.1, 1.6
+        expected = d / k + r * d * d / (2.0 * k * (k - r * d))
+        assert avg_ttft_intra_op(r, d, k) == pytest.approx(expected)
+
+    def test_inter_op_degree1_equals_single(self):
+        assert avg_ttft_inter_op(2.0, 0.1, degree=1) == pytest.approx(
+            avg_ttft_single(2.0, 0.1)
+        )
+
+    def test_intra_op_speedup1_equals_single(self):
+        assert avg_ttft_intra_op(2.0, 0.1, 1.0) == pytest.approx(
+            avg_ttft_single(2.0, 0.1)
+        )
+
+    def test_intra_wins_at_low_rate_inter_at_high(self):
+        # Figure 4(a)'s crossover with K < degree.
+        d, k = 0.1, 1.6
+        low, high = 0.5, 14.0
+        assert avg_ttft_intra_op(low, d, k) < avg_ttft_inter_op(low, d, 2)
+        assert avg_ttft_intra_op(high, d, k) > avg_ttft_inter_op(high, d, 2)
+
+    def test_crossover_rate_separates_regimes(self):
+        d, k = 0.1, 1.6
+        rc = crossover_rate(d, k, degree=2)
+        assert 0 < rc < 2.0 / d
+        eps = 0.05 * rc
+        assert avg_ttft_intra_op(rc - eps, d, k) <= avg_ttft_inter_op(rc - eps, d, 2)
+        assert avg_ttft_intra_op(rc + eps, d, k) >= avg_ttft_inter_op(rc + eps, d, 2)
+
+    def test_crossover_infinite_when_intra_dominates(self):
+        # K = degree = 2 with no other cost: intra always at least as good.
+        assert crossover_rate(0.1, 2.0, degree=2) == math.inf
+
+    def test_smaller_k_weakens_intra(self):
+        # Figure 4(b): decreasing K reduces intra-op efficacy.
+        d = 0.1
+        r = 5.0
+        assert avg_ttft_intra_op(r, d, 1.9) < avg_ttft_intra_op(r, d, 1.3)
+
+    def test_max_stable_rate(self):
+        assert max_stable_rate(0.1) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            max_stable_rate(0.0)
+
+
+class TestMG1:
+    def test_scv_zero_recovers_md1(self):
+        assert mg1_waiting_time(4.0, 0.1, 0.0) == pytest.approx(
+            md1_waiting_time(4.0, 0.1)
+        )
+
+    def test_scv_one_recovers_mm1(self):
+        assert mg1_waiting_time(4.0, 0.1, 1.0) == pytest.approx(
+            mm1_waiting_time(4.0, 0.1)
+        )
+
+    def test_variability_increases_wait(self):
+        assert mg1_waiting_time(4.0, 0.1, 2.0) > mg1_waiting_time(4.0, 0.1, 0.5)
+
+    def test_mm1_response(self):
+        assert mm1_response_time(4.0, 0.1) == pytest.approx(
+            0.1 + mm1_waiting_time(4.0, 0.1)
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            mg1_waiting_time(4.0, 0.1, -0.1)
+        with pytest.raises(ValueError):
+            mm1_waiting_time(-1.0, 0.1)

@@ -1,0 +1,102 @@
+"""Tests for the telemetry recorder and its use on live instances."""
+
+import pytest
+
+from repro.simulator import (
+    DecodeInstance,
+    RequestState,
+    Simulation,
+    TelemetryRecorder,
+)
+from repro.workload import Request
+
+
+class TestGaugeSampling:
+    def test_samples_on_cadence(self):
+        sim = Simulation()
+        rec = TelemetryRecorder(sim, interval=1.0)
+        clock = {"v": 0.0}
+        rec.register("clock", lambda: clock["v"])
+
+        def tick():
+            clock["v"] += 1.0
+            sim.schedule(1.0, tick)
+
+        sim.schedule(0.5, tick)
+        rec.start(until=5.0)
+        sim.run(until=5.0)
+        series = rec.series("clock")
+        assert len(series) == 6  # t = 0..5
+        assert series.times == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        assert series.values[0] == 0.0
+        assert series.values[-1] == 5.0
+
+    def test_summary_statistics(self):
+        sim = Simulation()
+        rec = TelemetryRecorder(sim, interval=1.0)
+        values = iter([1.0, 5.0, 3.0, 100.0])
+        rec.register("g", lambda: next(values))
+        rec.start(until=3.0)
+        sim.run(until=3.0)
+        series = rec.series("g")
+        assert series.max() == 100.0
+        assert series.mean() == pytest.approx((1 + 5 + 3 + 100) / 4)
+
+    def test_value_at_step_interpolation(self):
+        sim = Simulation()
+        rec = TelemetryRecorder(sim, interval=2.0)
+        values = iter([10.0, 20.0, 30.0])
+        rec.register("g", lambda: next(values))
+        rec.start(until=4.0)
+        sim.run(until=4.0)
+        series = rec.series("g")
+        assert series.value_at(0.0) == 10.0
+        assert series.value_at(1.9) == 10.0
+        assert series.value_at(2.0) == 20.0
+        with pytest.raises(ValueError):
+            series.value_at(-1.0)
+
+    def test_lifecycle_guards(self):
+        sim = Simulation()
+        rec = TelemetryRecorder(sim)
+        with pytest.raises(RuntimeError):
+            rec.start(until=1.0)  # no gauges
+        rec.register("g", lambda: 0.0)
+        with pytest.raises(ValueError):
+            rec.register("g", lambda: 1.0)
+        rec.start(until=1.0)
+        with pytest.raises(RuntimeError):
+            rec.register("late", lambda: 0.0)
+        with pytest.raises(RuntimeError):
+            rec.start(until=2.0)
+        with pytest.raises(KeyError):
+            rec.series("missing")
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            TelemetryRecorder(Simulation(), interval=0.0)
+
+
+class TestInstanceTelemetry:
+    def test_decode_batch_size_dynamics(self, tiny_spec):
+        sim = Simulation()
+        inst = DecodeInstance(sim, tiny_spec, on_request_done=lambda s: None)
+        rec = TelemetryRecorder(sim, interval=0.05)
+        rec.register("batch", lambda: inst.active_batch_size)
+        rec.register("kv_free", lambda: inst.kv_free_tokens())
+        rec.start(until=3.0)
+        # A burst of work arrives at t=1.
+        for i in range(8):
+            state = RequestState(
+                request=Request(
+                    request_id=i, arrival_time=1.0, input_len=64, output_len=500
+                )
+            )
+            state.record_token(1.0)
+            sim.schedule_at(1.0, lambda s=state: inst.submit(s))
+        sim.run(until=3.0)
+        batch = rec.series("batch")
+        kv = rec.series("kv_free")
+        assert batch.value_at(0.5) == 0.0
+        assert batch.value_at(1.5) == 8.0
+        assert kv.value_at(1.5) < kv.value_at(0.5)  # KV consumed by burst

@@ -1,0 +1,73 @@
+"""Tests for the per-link-serialized KV transfer engine."""
+
+import pytest
+
+from repro.hardware import ETHERNET_25G, NVLINK, NetworkLink
+from repro.simulator import Simulation, TransferEngine
+
+
+class TestTransferEngine:
+    def test_single_transfer_duration(self):
+        sim = Simulation()
+        eng = TransferEngine(sim)
+        done = []
+        eng.submit(1, 1e9, NVLINK, on_done=lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(NVLINK.time_for(1e9))]
+        assert len(eng.records) == 1
+        assert eng.records[0].duration == pytest.approx(NVLINK.time_for(1e9))
+
+    def test_same_link_serializes(self):
+        sim = Simulation()
+        eng = TransferEngine(sim)
+        done = []
+        eng.submit(1, 1e9, NVLINK, on_done=lambda: done.append((1, sim.now)))
+        eng.submit(2, 1e9, NVLINK, on_done=lambda: done.append((2, sim.now)))
+        sim.run()
+        t = NVLINK.time_for(1e9)
+        assert done[0] == (1, pytest.approx(t))
+        assert done[1] == (2, pytest.approx(2 * t))
+
+    def test_different_links_concurrent(self):
+        sim = Simulation()
+        eng = TransferEngine(sim)
+        link_a = NetworkLink("a", bandwidth=1e9, latency=0.0)
+        link_b = NetworkLink("b", bandwidth=1e9, latency=0.0)
+        done = []
+        eng.submit(1, 1e9, link_a, on_done=lambda: done.append(sim.now))
+        eng.submit(2, 1e9, link_b, on_done=lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(1.0), pytest.approx(1.0)]
+
+    def test_parallel_channels_divide_time(self):
+        sim = Simulation()
+        eng = TransferEngine(sim)
+        done = []
+        eng.submit(1, 4e9, NVLINK, lambda: done.append(sim.now), num_parallel_channels=4)
+        sim.run()
+        assert done[0] == pytest.approx(NVLINK.time_for(1e9))
+
+    def test_total_bytes_accounting(self):
+        sim = Simulation()
+        eng = TransferEngine(sim)
+        eng.submit(1, 3e6, NVLINK, lambda: None)
+        eng.submit(2, 7e6, ETHERNET_25G, lambda: None)
+        sim.run()
+        assert eng.total_bytes == pytest.approx(10e6)
+
+    def test_slow_link_queue_builds(self):
+        sim = Simulation()
+        eng = TransferEngine(sim)
+        for i in range(5):
+            eng.submit(i, 3.125e9, ETHERNET_25G, lambda: None)  # ~1 s each
+        assert eng.link_busy_until(ETHERNET_25G) == pytest.approx(5.0, rel=0.01)
+        sim.run()
+        assert len(eng.records) == 5
+
+    def test_invalid_inputs(self):
+        sim = Simulation()
+        eng = TransferEngine(sim)
+        with pytest.raises(ValueError):
+            eng.submit(1, -1.0, NVLINK, lambda: None)
+        with pytest.raises(ValueError):
+            eng.submit(1, 1.0, NVLINK, lambda: None, num_parallel_channels=0)

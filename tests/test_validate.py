@@ -1,0 +1,101 @@
+"""Tests for placement validation against cluster constraints."""
+
+import pytest
+
+from repro.core import PhasePlan, Placement, validate_placement
+from repro.hardware import Cluster, Node, high_affinity_cluster, paper_testbed
+from repro.latency import ParallelismConfig
+from repro.models import get_model
+
+
+def make_placement(p_tp=2, p_pp=1, d_tp=1, d_pp=1, n_p=1, n_d=1,
+                   gp_p=4.0, gp_d=4.0, intra=True):
+    return Placement(
+        prefill=PhasePlan(ParallelismConfig(p_tp, p_pp), n_p, gp_p),
+        decode=PhasePlan(ParallelismConfig(d_tp, d_pp), n_d, gp_d),
+        kv_transfer_intra_node=intra,
+    )
+
+
+class TestValidatePlacement:
+    def test_valid_13b_placement(self):
+        report = validate_placement(
+            make_placement(), get_model("opt-13b"), paper_testbed()
+        )
+        assert report.ok, report.summary()
+
+    def test_gpu_budget_exceeded(self):
+        report = validate_placement(
+            make_placement(n_p=20, n_d=20),
+            get_model("opt-13b"),
+            paper_testbed(),
+        )
+        assert not report.ok
+        assert any("GPUs" in e for e in report.errors)
+
+    def test_memory_infeasible(self):
+        # 66B at tp=1 pp=1 does not fit one 80 GB GPU.
+        report = validate_placement(
+            make_placement(p_tp=1, d_tp=1), get_model("opt-66b"), paper_testbed()
+        )
+        assert not report.ok
+        assert any("weights do not fit" in e for e in report.errors)
+
+    def test_tp_cannot_straddle_nodes(self):
+        small = Cluster(nodes=[Node(index=i, num_gpus=2) for i in range(4)])
+        report = validate_placement(
+            make_placement(p_tp=4), get_model("opt-13b"), small
+        )
+        assert not report.ok
+        assert any("straddle" in e for e in report.errors)
+
+    def test_stage_colocation_packing(self):
+        small = Cluster(nodes=[Node(index=i, num_gpus=4) for i in range(4)])
+        report = validate_placement(
+            make_placement(p_tp=4, d_tp=4, intra=True),
+            get_model("opt-13b"),
+            small,
+        )
+        assert not report.ok
+        assert any("colocation" in e for e in report.errors)
+
+    def test_mismatched_pp_warns(self):
+        report = validate_placement(
+            make_placement(p_pp=2, d_pp=1, intra=True),
+            get_model("opt-13b"),
+            paper_testbed(),
+        )
+        assert report.ok  # warning, not error
+        assert report.warnings
+
+    def test_cross_node_transfer_on_slow_fabric_warns(self):
+        report = validate_placement(
+            make_placement(intra=False), get_model("opt-13b"), paper_testbed()
+        )
+        assert any("fabric" in w for w in report.warnings)
+        ok_report = validate_placement(
+            make_placement(intra=False), get_model("opt-13b"), high_affinity_cluster()
+        )
+        assert not any("fabric" in w for w in ok_report.warnings)
+
+    def test_imbalance_warns(self):
+        report = validate_placement(
+            make_placement(gp_p=10.0, gp_d=1.0),
+            get_model("opt-13b"),
+            paper_testbed(),
+        )
+        assert any("differ" in w for w in report.warnings)
+
+    def test_invalid_partition(self):
+        # opt-13b has 40 heads; tp=16 cannot partition it. The config is
+        # constructible but must be flagged by validation.
+        report = validate_placement(
+            make_placement(p_tp=16), get_model("opt-13b"), paper_testbed()
+        )
+        assert not report.ok
+
+    def test_summary_format(self):
+        report = validate_placement(
+            make_placement(), get_model("opt-13b"), paper_testbed()
+        )
+        assert report.summary().startswith("OK")

@@ -1,0 +1,264 @@
+"""Tests for workload generation: distributions, arrivals, datasets, traces."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    HUMANEVAL,
+    LONGBENCH,
+    SHAREGPT,
+    SLO,
+    EmpiricalLength,
+    FixedLength,
+    LognormalLength,
+    MixtureLength,
+    Request,
+    TABLE1_WORKLOADS,
+    Trace,
+    UniformLength,
+    fit_lognormal,
+    fit_trace,
+    fixed_length_dataset,
+    gamma_arrivals,
+    generate_trace,
+    get_dataset,
+    get_workload,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+
+
+class TestDistributions:
+    def test_fixed(self, rng):
+        d = FixedLength(42)
+        assert (d.sample(rng, 10) == 42).all()
+        assert d.mean() == 42.0
+
+    def test_uniform_bounds(self, rng):
+        d = UniformLength(5, 9)
+        samples = d.sample(rng, 1000)
+        assert samples.min() >= 5 and samples.max() <= 9
+        assert d.mean() == 7.0
+
+    def test_lognormal_median_and_clip(self, rng):
+        d = LognormalLength(median=200, sigma=0.8, low=10, high=1000)
+        samples = d.sample(rng, 5000)
+        assert 10 <= samples.min() and samples.max() <= 1000
+        assert np.median(samples) == pytest.approx(200, rel=0.15)
+
+    def test_mixture_weights(self, rng):
+        d = MixtureLength(
+            components=(FixedLength(1), FixedLength(1000)), weights=(0.9, 0.1)
+        )
+        samples = d.sample(rng, 5000)
+        frac_small = (samples == 1).mean()
+        assert frac_small == pytest.approx(0.9, abs=0.03)
+        assert d.mean() == pytest.approx(0.9 * 1 + 0.1 * 1000)
+
+    def test_empirical_resamples_observations(self, rng):
+        d = EmpiricalLength((3, 7, 11))
+        samples = d.sample(rng, 1000)
+        assert set(np.unique(samples)) <= {3, 7, 11}
+        assert d.mean() == pytest.approx(7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedLength(0)
+        with pytest.raises(ValueError):
+            UniformLength(5, 4)
+        with pytest.raises(ValueError):
+            LognormalLength(median=-1, sigma=0.5)
+        with pytest.raises(ValueError):
+            EmpiricalLength(())
+
+
+class TestArrivals:
+    def test_poisson_mean_rate(self, rng):
+        times = poisson_arrivals(4.0, 4000, rng)
+        assert len(times) == 4000
+        assert (np.diff(times) >= 0).all()
+        rate = len(times) / times[-1]
+        assert rate == pytest.approx(4.0, rel=0.1)
+
+    def test_gamma_cv1_like_poisson(self, rng):
+        times = gamma_arrivals(4.0, 4000, cv=1.0, rng=rng)
+        gaps = np.diff(times)
+        assert gaps.std() / gaps.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_gamma_burstier_with_high_cv(self, rng):
+        smooth = gamma_arrivals(4.0, 4000, cv=0.3, rng=np.random.default_rng(1))
+        bursty = gamma_arrivals(4.0, 4000, cv=3.0, rng=np.random.default_rng(1))
+        cv_s = np.diff(smooth).std() / np.diff(smooth).mean()
+        cv_b = np.diff(bursty).std() / np.diff(bursty).mean()
+        assert cv_b > 3 * cv_s
+
+    def test_uniform_arrivals_deterministic(self):
+        times = uniform_arrivals(2.0, 4)
+        assert list(times) == [0.5, 1.0, 1.5, 2.0]
+
+    def test_invalid(self, rng):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 10, rng)
+        with pytest.raises(ValueError):
+            gamma_arrivals(1.0, 10, cv=0.0, rng=rng)
+
+
+class TestDatasets:
+    def test_longbench_has_much_longer_inputs(self, rng):
+        # Figure 7: LongBench input lengths dwarf ShareGPT and HumanEval.
+        n = 2000
+        sg, _ = SHAREGPT.sample_lengths(rng, n)
+        he, _ = HUMANEVAL.sample_lengths(rng, n)
+        lb, _ = LONGBENCH.sample_lengths(rng, n)
+        assert lb.mean() > 4 * sg.mean()
+        assert lb.mean() > 10 * he.mean()
+
+    def test_humaneval_prompts_short(self, rng):
+        he_in, he_out = HUMANEVAL.sample_lengths(rng, 2000)
+        assert he_in.mean() < 300
+
+    def test_get_dataset(self):
+        assert get_dataset("ShareGPT") is SHAREGPT
+        with pytest.raises(KeyError):
+            get_dataset("c4")
+
+    def test_fixed_length_dataset(self, rng):
+        ds = fixed_length_dataset(512, 64)
+        ins, outs = ds.sample_lengths(rng, 10)
+        assert (ins == 512).all() and (outs == 64).all()
+
+    def test_generate_trace_reproducible(self):
+        t1 = generate_trace(SHAREGPT, 2.0, 50, np.random.default_rng(7))
+        t2 = generate_trace(SHAREGPT, 2.0, 50, np.random.default_rng(7))
+        assert [(r.arrival_time, r.input_len) for r in t1] == [
+            (r.arrival_time, r.input_len) for r in t2
+        ]
+
+    def test_generate_trace_processes(self, rng):
+        for process in ("poisson", "gamma", "uniform"):
+            t = generate_trace(SHAREGPT, 2.0, 20, rng, arrival_process=process)
+            assert len(t) == 20
+        with pytest.raises(ValueError):
+            generate_trace(SHAREGPT, 2.0, 20, rng, arrival_process="weibull")
+
+
+class TestTrace:
+    def test_sorts_on_construction(self):
+        reqs = [
+            Request(0, 5.0, 10, 2),
+            Request(1, 1.0, 10, 2),
+        ]
+        t = Trace(requests=reqs)
+        assert [r.request_id for r in t] == [1, 0]
+
+    def test_stats(self, rng):
+        t = generate_trace(SHAREGPT, 3.0, 500, rng)
+        s = t.stats()
+        assert s.num_requests == 500
+        assert s.arrival_rate == pytest.approx(3.0, rel=0.2)
+        assert s.p90_input_len > s.mean_input_len
+
+    def test_scaled_to_rate(self, rng):
+        t = generate_trace(SHAREGPT, 2.0, 300, rng)
+        t2 = t.scaled_to_rate(6.0)
+        assert t2.arrival_rate == pytest.approx(6.0, rel=1e-6)
+        # Lengths unchanged.
+        assert [r.input_len for r in t2] == [r.input_len for r in t]
+
+    def test_slice_time(self):
+        t = Trace(
+            requests=[Request(i, float(i), 10, 2) for i in range(10)]
+        )
+        part = t.slice_time(3.0, 7.0)
+        assert [r.request_id for r in part] == [3, 4, 5, 6]
+        assert part[0].arrival_time == 0.0
+
+    def test_empty_trace(self):
+        t = Trace()
+        assert len(t) == 0
+        assert t.duration == 0.0
+        assert t.arrival_rate == 0.0
+        assert t.stats().num_requests == 0
+
+
+class TestFitting:
+    def test_fit_lognormal_recovers_parameters(self, rng):
+        true = LognormalLength(median=300, sigma=0.6)
+        samples = [int(x) for x in true.sample(rng, 8000)]
+        fitted = fit_lognormal(samples)
+        assert fitted.median == pytest.approx(300, rel=0.1)
+        assert fitted.sigma == pytest.approx(0.6, rel=0.15)
+
+    def test_fit_trace_empirical_roundtrip(self, rng):
+        t = generate_trace(SHAREGPT, 2.0, 1000, rng)
+        fitted = fit_trace(t, method="empirical")
+        assert fitted.arrival_rate == pytest.approx(2.0, rel=0.2)
+        resampled = fitted.resample(500, np.random.default_rng(3))
+        orig_mean = np.mean([r.input_len for r in t])
+        new_mean = np.mean([r.input_len for r in resampled])
+        assert new_mean == pytest.approx(orig_mean, rel=0.15)
+
+    def test_fit_trace_lognormal(self, rng):
+        t = generate_trace(HUMANEVAL, 2.0, 1000, rng)
+        fitted = fit_trace(t, method="lognormal")
+        resampled = fitted.resample(200, rng)
+        assert len(resampled) == 200
+
+    def test_fit_needs_data(self):
+        with pytest.raises(ValueError):
+            fit_trace(Trace())
+        with pytest.raises(ValueError):
+            fit_lognormal([100])
+
+
+class TestSLOs:
+    def test_table1_rows(self):
+        assert len(TABLE1_WORKLOADS) == 5
+        chat13 = get_workload("chatbot", "opt-13b")
+        assert chat13.slo == SLO(ttft=0.2, tpot=0.1)
+        summ = get_workload("summarization", "opt-66b")
+        assert summ.slo.ttft == 15.0 and summ.dataset_name == "longbench"
+
+    def test_slo_scaled(self):
+        slo = SLO(ttft=0.4, tpot=0.1).scaled(0.5)
+        assert slo == SLO(ttft=0.2, tpot=0.05)
+        with pytest.raises(ValueError):
+            SLO(1.0, 1.0).scaled(0.0)
+
+    def test_slo_is_met(self):
+        slo = SLO(ttft=0.2, tpot=0.1)
+        assert slo.is_met(0.2, 0.1)
+        assert not slo.is_met(0.21, 0.1)
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            get_workload("chatbot", "opt-30b")
+
+
+class TestPiecewiseArrivals:
+    def test_segment_rates_respected(self, rng):
+        from repro.workload import piecewise_rate_arrivals
+
+        times = piecewise_rate_arrivals([(100.0, 2.0), (100.0, 10.0)], rng)
+        first = ((times >= 0) & (times < 100)).sum()
+        second = ((times >= 100) & (times < 200)).sum()
+        assert first == pytest.approx(200, rel=0.25)
+        assert second == pytest.approx(1000, rel=0.15)
+        assert (np.diff(times) >= 0).all()
+
+    def test_zero_rate_lull(self, rng):
+        from repro.workload import piecewise_rate_arrivals
+
+        times = piecewise_rate_arrivals([(10.0, 5.0), (10.0, 0.0), (10.0, 5.0)], rng)
+        assert ((times >= 10) & (times < 20)).sum() == 0
+        assert times.max() < 30
+
+    def test_validation(self, rng):
+        from repro.workload import piecewise_rate_arrivals
+
+        with pytest.raises(ValueError):
+            piecewise_rate_arrivals([], rng)
+        with pytest.raises(ValueError):
+            piecewise_rate_arrivals([(0.0, 1.0)], rng)
+        with pytest.raises(ValueError):
+            piecewise_rate_arrivals([(1.0, -1.0)], rng)
