@@ -1,10 +1,19 @@
-.PHONY: install test bench examples clean
+.PHONY: install test trace-demo golden-regen bench examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
+# Matches the tier-1 verify command: works on a fresh checkout without
+# an editable install.
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest -x -q
+
+trace-demo:
+	PYTHONPATH=src python -m repro.cli trace --model opt-13b --rate 2.0 \
+		--requests 100 --out /tmp/trace.json --jsonl-out /tmp/trace.jsonl
+
+golden-regen:
+	PYTHONPATH=src python -m tests.test_golden_trace --regen
 
 bench:
 	pytest benchmarks/ --benchmark-only

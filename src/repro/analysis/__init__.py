@@ -1,6 +1,13 @@
 """Analysis: SLO attainment, percentiles, breakdowns, report tables."""
 
-from .breakdown import STAGES, LatencyBreakdown, latency_breakdown
+from .breakdown import (
+    STAGES,
+    LatencyBreakdown,
+    RequestSpanBreakdown,
+    latency_breakdown,
+    latency_breakdown_from_spans,
+    request_breakdowns,
+)
 from .fidelity import FidelityReport, compare_runs
 from .percentiles import cdf_points, latency_summary, tpot_percentile, ttft_percentile
 from .reporting import format_series, format_table
@@ -9,7 +16,10 @@ from .slo import AttainmentReport, slo_attainment
 __all__ = [
     "STAGES",
     "LatencyBreakdown",
+    "RequestSpanBreakdown",
     "latency_breakdown",
+    "latency_breakdown_from_spans",
+    "request_breakdowns",
     "FidelityReport",
     "compare_runs",
     "cdf_points",

@@ -6,6 +6,8 @@ Mirrors the operational surface of the original system's tooling::
     python -m repro.cli plan --model opt-13b --application chatbot
     python -m repro.cli serve --model opt-13b --rate 3.0 --requests 300
     python -m repro.cli analyze --model opt-66b --input-len 512
+    python -m repro.cli trace --model opt-13b --rate 2.0 --requests 100 \
+        --out /tmp/trace.json
 """
 
 from __future__ import annotations
@@ -15,7 +17,12 @@ import sys
 
 import numpy as np
 
-from .analysis import latency_summary, slo_attainment
+from .analysis import (
+    latency_breakdown_from_spans,
+    latency_summary,
+    request_breakdowns,
+    slo_attainment,
+)
 from .core import PlacementSearchStats, build_system, place_high_affinity, place_low_affinity
 from .hardware import get_gpu, paper_testbed
 from .latency import (
@@ -26,8 +33,14 @@ from .latency import (
     saturation_length,
 )
 from .models import get_model, list_models
-from .serving import DisaggregatedSystem, simulate_trace
-from .simulator import InstanceSpec, Simulation
+from .serving import ColocatedSystem, DisaggregatedSystem, simulate_trace
+from .simulator import (
+    InstanceSpec,
+    Simulation,
+    Tracer,
+    write_chrome_trace,
+    write_jsonl,
+)
 from .workload import SLO, generate_trace, get_dataset, get_workload
 
 __all__ = ["main"]
@@ -95,6 +108,58 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    sim = Simulation()
+    tracer = Tracer()
+    if args.mode == "disaggregated":
+        prefill_spec = InstanceSpec(
+            model=model, config=ParallelismConfig(args.prefill_tp, args.prefill_pp)
+        )
+        decode_spec = InstanceSpec(
+            model=model, config=ParallelismConfig(args.decode_tp, args.decode_pp)
+        )
+        system = DisaggregatedSystem(
+            sim, prefill_spec, decode_spec,
+            num_prefill=args.num_prefill, num_decode=args.num_decode,
+            tracer=tracer,
+        )
+    else:
+        spec = InstanceSpec(
+            model=model, config=ParallelismConfig(args.prefill_tp, args.prefill_pp)
+        )
+        system = ColocatedSystem(sim, spec, num_replicas=args.num_prefill,
+                                 tracer=tracer)
+    trace = generate_trace(
+        get_dataset(args.dataset), rate=args.rate, num_requests=args.requests,
+        rng=np.random.default_rng(args.seed),
+    )
+    result = simulate_trace(system, trace)
+    write_chrome_trace(args.out, result.spans)
+    if args.jsonl_out:
+        write_jsonl(args.jsonl_out, result.spans)
+    print(f"{result.completed}/{len(trace)} requests, "
+          f"{len(result.spans)} spans in {result.sim_time:.1f}s simulated")
+    print(f"Chrome trace written to {args.out} "
+          f"(open in Perfetto or chrome://tracing)")
+    if args.jsonl_out:
+        print(f"JSON-lines trace written to {args.jsonl_out}")
+    breakdown = latency_breakdown_from_spans(result.spans)
+    for stage, frac in breakdown.fractions().items():
+        print(f"  {stage:14s} {frac:6.1%}")
+    # Reconciliation: per-request stage sums vs record end-to-end latency.
+    by_id = {r.request_id: r.end_to_end_latency for r in result.records}
+    worst = max(
+        (abs(b.stage_sum - by_id[b.request_id])
+         for b in request_breakdowns(result.spans) if b.request_id in by_id),
+        default=0.0,
+    )
+    summary = latency_summary(result.records)
+    print(f"e2e mean/p99: {summary['e2e_mean']:.3f} / {summary['e2e_p99']:.3f} s; "
+          f"max |span-sum - e2e| = {worst:.2e} s")
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     model = get_model(args.model)
     gpu = get_gpu(args.gpu)
@@ -146,6 +211,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--ttft", type=float, default=0.0)
     serve.add_argument("--tpot", type=float, default=0.0)
 
+    trace_p = sub.add_parser(
+        "trace", help="simulate a synthetic trace and dump the span timeline"
+    )
+    trace_p.add_argument("--model", default="opt-13b")
+    trace_p.add_argument("--dataset", default="sharegpt")
+    trace_p.add_argument("--mode", choices=("disaggregated", "colocated"),
+                         default="disaggregated")
+    trace_p.add_argument("--rate", type=float, default=2.0)
+    trace_p.add_argument("--requests", type=int, default=100)
+    trace_p.add_argument("--seed", type=int, default=0)
+    trace_p.add_argument("--num-prefill", type=int, default=1,
+                         help="prefill instances (replicas in colocated mode)")
+    trace_p.add_argument("--num-decode", type=int, default=1)
+    trace_p.add_argument("--prefill-tp", type=int, default=1)
+    trace_p.add_argument("--prefill-pp", type=int, default=1)
+    trace_p.add_argument("--decode-tp", type=int, default=1)
+    trace_p.add_argument("--decode-pp", type=int, default=1)
+    trace_p.add_argument("--out", default="/tmp/trace.json",
+                         help="Chrome trace_event output path")
+    trace_p.add_argument("--jsonl-out", default="",
+                         help="optional JSON-lines span dump path")
+
     analyze = sub.add_parser("analyze", help="latency-model analysis of a model")
     analyze.add_argument("--model", default="opt-13b")
     analyze.add_argument("--gpu", default="a100-80gb")
@@ -160,6 +247,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "models": _cmd_models,
         "plan": _cmd_plan,
         "serve": _cmd_serve,
+        "trace": _cmd_trace,
         "analyze": _cmd_analyze,
     }
     return handlers[args.command](args)

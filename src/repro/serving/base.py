@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from ..simulator.events import Simulation
 from ..simulator.request import RequestRecord, RequestState
+from ..simulator.tracing import NULL_TRACER, Span, SpanKind, Tracer
 from ..simulator.transfer import TransferRecord
 from ..workload.trace import Request, Trace
 
@@ -23,11 +24,17 @@ class ServingSystem(abc.ABC):
     """Base class for simulated serving systems.
 
     Subclasses implement :meth:`submit`; completion flows back through
-    :meth:`_complete`, which freezes the request into a record.
+    :meth:`_complete`, which freezes the request into a record. An
+    optional :class:`~repro.simulator.tracing.Tracer` receives per-request
+    lifecycle spans (``arrival``/``completion`` from this base; queue,
+    exec, transfer, and step spans from the instances the subclass wires
+    the tracer into).
     """
 
-    def __init__(self, sim: Simulation) -> None:
+    def __init__(self, sim: Simulation, tracer: "Tracer | None" = None) -> None:
         self.sim = sim
+        self.tracer = tracer
+        self._trace = tracer if tracer is not None else NULL_TRACER
         self.records: "list[RequestRecord]" = []
         self._submitted = 0
 
@@ -46,10 +53,12 @@ class ServingSystem(abc.ABC):
 
     def _register(self, request: Request) -> RequestState:
         self._submitted += 1
+        self._trace.instant(request.request_id, SpanKind.ARRIVAL, self.sim.now)
         return RequestState(request=request)
 
     def _complete(self, state: RequestState) -> None:
         self.records.append(state.to_record())
+        self._trace.instant(state.request_id, SpanKind.COMPLETION, self.sim.now)
 
     def num_gpus(self) -> int:
         """GPUs provisioned by this system (for per-GPU goodput)."""
@@ -66,6 +75,8 @@ class SimulationResult:
     events_processed: int
     transfer_records: "list[TransferRecord]" = field(default_factory=list)
     num_gpus: int = 0
+    #: Lifecycle spans, when the system was built with a tracer.
+    spans: "list[Span]" = field(default_factory=list)
 
     @property
     def completed(self) -> int:
@@ -96,6 +107,7 @@ def simulate_trace(
         gpus = system.num_gpus()
     except NotImplementedError:
         gpus = 0
+    tracer = getattr(system, "tracer", None)
     return SimulationResult(
         records=list(system.records),
         unfinished=system.unfinished,
@@ -103,6 +115,7 @@ def simulate_trace(
         events_processed=sim.events_processed,
         transfer_records=list(transfers),
         num_gpus=gpus,
+        spans=list(tracer.spans) if tracer is not None else [],
     )
 
 

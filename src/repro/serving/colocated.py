@@ -16,6 +16,7 @@ from ..simulator.colocated_instance import ColocatedInstance
 from ..simulator.events import Simulation
 from ..simulator.instance import InstanceSpec
 from ..simulator.request import RequestState
+from ..simulator.tracing import Tracer
 from ..workload.trace import Request
 
 __all__ = ["ColocatedSystem"]
@@ -33,6 +34,7 @@ class ColocatedSystem(ServingSystem):
         max_prefill_tokens: Per-iteration prefill token budget.
         chunk_size: Chunk budget for the ``"chunked"`` policy.
         rng: Needed only for random dispatch.
+        tracer: Optional lifecycle tracer, shared with every replica.
     """
 
     def __init__(
@@ -45,8 +47,9 @@ class ColocatedSystem(ServingSystem):
         max_prefill_tokens: int = 2048,
         chunk_size: int = 512,
         rng: "np.random.Generator | None" = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
-        super().__init__(sim)
+        super().__init__(sim, tracer=tracer)
         if num_replicas <= 0:
             raise ValueError(f"num_replicas must be positive, got {num_replicas}")
         self.spec = spec
@@ -59,6 +62,7 @@ class ColocatedSystem(ServingSystem):
                 max_prefill_tokens=max_prefill_tokens,
                 chunk_size=chunk_size,
                 name=f"colocated-{i}",
+                tracer=tracer,
             )
             for i in range(num_replicas)
         ]

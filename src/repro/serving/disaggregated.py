@@ -26,6 +26,7 @@ from ..simulator.events import Simulation
 from ..simulator.instance import InstanceSpec
 from ..simulator.prefill_instance import PrefillInstance
 from ..simulator.request import RequestState
+from ..simulator.tracing import SpanKind, Tracer
 from ..simulator.transfer import TransferEngine
 from ..workload.trace import Request
 
@@ -49,6 +50,7 @@ class DisaggregatedSystem(ServingSystem):
         transfer_mode: ``"pull"`` (default, §4.3) or ``"push"``.
         dispatch_policy: Routing policy for both pools.
         rng: Needed only for random dispatch.
+        tracer: Optional lifecycle tracer, shared with every instance.
     """
 
     def __init__(
@@ -63,8 +65,9 @@ class DisaggregatedSystem(ServingSystem):
         transfer_mode: str = "pull",
         dispatch_policy: str = "least_loaded",
         rng: "np.random.Generator | None" = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
-        super().__init__(sim)
+        super().__init__(sim, tracer=tracer)
         if num_prefill <= 0 or num_decode <= 0:
             raise ValueError("need at least one instance of each kind")
         if transfer_mode not in ("pull", "push"):
@@ -84,14 +87,14 @@ class DisaggregatedSystem(ServingSystem):
         self.prefill_instances = [
             PrefillInstance(
                 sim, prefill_spec, on_prefill_done=self._on_prefill_done,
-                name=f"prefill-{i}",
+                name=f"prefill-{i}", tracer=tracer,
             )
             for i in range(num_prefill)
         ]
         self.decode_instances = [
             DecodeInstance(
                 sim, decode_spec, on_request_done=self._on_decode_done,
-                name=f"decode-{i}",
+                name=f"decode-{i}", tracer=tracer,
             )
             for i in range(num_decode)
         ]
@@ -141,6 +144,16 @@ class DisaggregatedSystem(ServingSystem):
             self._complete(state)
             return
         decode = self._decode_dispatch.choose(self.decode_instances)
+        # The kv_transfer span opens as soon as the cache is ready to
+        # migrate: under the pull policy it covers any time parked on
+        # prefill memory awaiting a decode-side reservation, matching the
+        # record-level transfer stage (prefill_end .. transfer_end).
+        self._trace.begin(
+            state.request_id,
+            SpanKind.KV_TRANSFER,
+            self.sim.now,
+            f"{prefill.name}->{decode.name}",
+        )
         if self.transfer_mode == "push":
             self._start_transfer(state, prefill, decode)
         else:
@@ -173,6 +186,7 @@ class DisaggregatedSystem(ServingSystem):
 
         def _done() -> None:
             state.stamp("transfer_end", self.sim.now)
+            self._trace.end(state.request_id, SpanKind.KV_TRANSFER, self.sim.now)
             prefill.release_kv(state.request_id)
             self._home_prefill.pop(state.request_id, None)
             if self.transfer_mode == "pull" and decode.name in self._inflight_blocks:

@@ -21,6 +21,7 @@ from ..simulator.events import Simulation
 from ..simulator.instance import InstanceSpec
 from ..simulator.prefill_instance import PrefillInstance
 from ..simulator.request import RequestState
+from ..simulator.tracing import SpanKind, Tracer
 from ..workload.trace import Request
 
 __all__ = ["PrefillOnlySystem", "DecodeOnlySystem"]
@@ -34,12 +35,14 @@ class PrefillOnlySystem(ServingSystem):
         sim: Simulation,
         spec: InstanceSpec,
         num_instances: int = 1,
+        tracer: "Tracer | None" = None,
     ) -> None:
-        super().__init__(sim)
+        super().__init__(sim, tracer=tracer)
         self.spec = spec
         self.instances = [
             PrefillInstance(
-                sim, spec, on_prefill_done=self._finish, name=f"prefill-{i}"
+                sim, spec, on_prefill_done=self._finish, name=f"prefill-{i}",
+                tracer=tracer,
             )
             for i in range(num_instances)
         ]
@@ -56,6 +59,13 @@ class PrefillOnlySystem(ServingSystem):
             inst.release_kv(state.request_id)
         while not state.is_finished:
             state.record_token(self.sim.now)
+            self._trace.span(
+                state.request_id,
+                SpanKind.DECODE_STEP,
+                self.sim.now,
+                self.sim.now,
+                token_index=state.generated - 1,
+            )
         self._complete(state)
 
     def num_gpus(self) -> int:
@@ -70,12 +80,14 @@ class DecodeOnlySystem(ServingSystem):
         sim: Simulation,
         spec: InstanceSpec,
         num_instances: int = 1,
+        tracer: "Tracer | None" = None,
     ) -> None:
-        super().__init__(sim)
+        super().__init__(sim, tracer=tracer)
         self.spec = spec
         self.instances = [
             DecodeInstance(
-                sim, spec, on_request_done=self._complete, name=f"decode-{i}"
+                sim, spec, on_request_done=self._complete, name=f"decode-{i}",
+                tracer=tracer,
             )
             for i in range(num_instances)
         ]
@@ -89,6 +101,13 @@ class DecodeOnlySystem(ServingSystem):
         state.stamp("prefill_end", self.sim.now)
         state.stamp("transfer_end", self.sim.now)
         state.record_token(self.sim.now)
+        self._trace.span(
+            state.request_id,
+            SpanKind.DECODE_STEP,
+            self.sim.now,
+            self.sim.now,
+            token_index=0,
+        )
         if state.is_finished:
             self._complete(state)
             return

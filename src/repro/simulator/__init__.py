@@ -9,6 +9,19 @@ from .kvcache import KVBlockManager, OutOfBlocksError
 from .prefill_instance import PrefillInstance
 from .request import RequestPhase, RequestRecord, RequestState
 from .telemetry import GaugeSeries, TelemetryRecorder
+from .tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanKind,
+    Tracer,
+    chrome_trace_events,
+    spans_by_request,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
 from .transfer import TransferEngine, TransferRecord
 
 __all__ = [
@@ -26,6 +39,17 @@ __all__ = [
     "RequestState",
     "GaugeSeries",
     "TelemetryRecorder",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanKind",
+    "Tracer",
+    "chrome_trace_events",
+    "spans_by_request",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
     "TransferEngine",
     "TransferRecord",
 ]

@@ -33,6 +33,7 @@ from .events import Simulation
 from .instance import InstanceSpec
 from .kvcache import KVBlockManager
 from .request import RequestPhase, RequestState
+from .tracing import NULL_TRACER, SpanKind, Tracer
 from ..latency.mixed import mixed_batch_latency
 from ..latency.parallel import decode_times, prefill_times
 
@@ -52,6 +53,7 @@ class ColocatedInstance:
         max_prefill_tokens: Token budget of one prefill iteration.
         chunk_size: Prompt-chunk budget for the ``"chunked"`` policy.
         name: Identifier for reporting.
+        tracer: Optional lifecycle tracer receiving queue/exec/step spans.
     """
 
     def __init__(
@@ -63,6 +65,7 @@ class ColocatedInstance:
         max_prefill_tokens: int = 2048,
         chunk_size: int = 512,
         name: str = "colocated-0",
+        tracer: "Tracer | None" = None,
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
@@ -85,6 +88,7 @@ class ColocatedInstance:
         # Recompute lengths for preempted requests: request_id -> context.
         self._recompute_len: "dict[int, int]" = {}
         self._jitter = spec.make_jitter(name)
+        self._trace = tracer if tracer is not None else NULL_TRACER
         self._iterating = False
         # Instrumentation.
         self.prefill_iterations = 0
@@ -102,6 +106,9 @@ class ColocatedInstance:
         """Accept an arriving request."""
         state.phase = RequestPhase.WAITING_PREFILL
         state.stamp("prefill_enqueue", self._sim.now)
+        self._trace.begin(
+            state.request_id, SpanKind.PREFILL_QUEUE, self._sim.now, self.name
+        )
         self._waiting.append(state)
         self._kick()
 
@@ -163,6 +170,16 @@ class ColocatedInstance:
             for state in batch:
                 state.phase = RequestPhase.PREFILLING
                 state.stamp("prefill_start", self._sim.now)
+                self._trace.end(
+                    state.request_id, SpanKind.PREFILL_QUEUE, self._sim.now
+                )
+                self._trace.begin(
+                    state.request_id,
+                    SpanKind.PREFILL_EXEC,
+                    self._sim.now,
+                    self.name,
+                    batch_size=len(batch),
+                )
             self._sim.schedule(duration, lambda: self._finish_prefill(batch))
             return
         if self._running:
@@ -179,7 +196,10 @@ class ColocatedInstance:
             self.decode_iterations += 1
             self.busy_time += duration
             batch_snapshot = list(self._running)
-            self._sim.schedule(duration, lambda: self._finish_decode(batch_snapshot))
+            step_start = self._sim.now
+            self._sim.schedule(
+                duration, lambda: self._finish_decode(batch_snapshot, step_start)
+            )
             return
         self._iterating = False
 
@@ -199,7 +219,10 @@ class ColocatedInstance:
             self.decode_iterations += 1
             self.busy_time += duration
             batch_snapshot = list(self._running)
-            self._sim.schedule(duration, lambda: self._finish_decode(batch_snapshot))
+            step_start = self._sim.now
+            self._sim.schedule(
+                duration, lambda: self._finish_decode(batch_snapshot, step_start)
+            )
             return
         batch = self._try_admit_prefill(self._max_prefill_tokens)
         if batch:
@@ -218,6 +241,16 @@ class ColocatedInstance:
             for state in batch:
                 state.phase = RequestPhase.PREFILLING
                 state.stamp("prefill_start", self._sim.now)
+                self._trace.end(
+                    state.request_id, SpanKind.PREFILL_QUEUE, self._sim.now
+                )
+                self._trace.begin(
+                    state.request_id,
+                    SpanKind.PREFILL_EXEC,
+                    self._sim.now,
+                    self.name,
+                    batch_size=len(batch),
+                )
             self._sim.schedule(duration, lambda: self._finish_prefill(batch))
             return
         self._iterating = False
@@ -227,8 +260,18 @@ class ColocatedInstance:
             was_preempted = state.request_id in self._recompute_len
             self._recompute_len.pop(state.request_id, None)
             state.stamp("prefill_end", self._sim.now)
+            self._trace.end(state.request_id, SpanKind.PREFILL_EXEC, self._sim.now)
             if not was_preempted and state.generated == 0:
                 state.record_token(self._sim.now)
+                self._trace.span(
+                    state.request_id,
+                    SpanKind.DECODE_STEP,
+                    self._sim.now,
+                    self._sim.now,
+                    self.name,
+                    batch_size=len(batch),
+                    token_index=0,
+                )
             state.phase = RequestPhase.DECODING
             state.stamp("decode_start", self._sim.now)
             if state.is_finished:
@@ -240,11 +283,15 @@ class ColocatedInstance:
                 self._running_ids.add(state.request_id)
         self._run_iteration()
 
-    def _finish_decode(self, batch: "list[RequestState]") -> None:
-        self._advance_decodes(batch)
+    def _finish_decode(
+        self, batch: "list[RequestState]", step_start: float = 0.0
+    ) -> None:
+        self._advance_decodes(batch, step_start)
         self._run_iteration()
 
-    def _advance_decodes(self, batch: "list[RequestState]") -> None:
+    def _advance_decodes(
+        self, batch: "list[RequestState]", step_start: float = 0.0
+    ) -> None:
         finished: "list[RequestState]" = []
         for state in batch:
             if state.request_id not in self._running_ids:
@@ -255,6 +302,16 @@ class ColocatedInstance:
                     continue  # still stuck; token retried next iteration
             self._kv.append(state.request_id)
             state.record_token(self._sim.now)
+            if self._trace.enabled:
+                self._trace.span(
+                    state.request_id,
+                    SpanKind.DECODE_STEP,
+                    step_start,
+                    self._sim.now,
+                    self.name,
+                    batch_size=len(batch),
+                    token_index=state.generated - 1,
+                )
             if state.is_finished:
                 finished.append(state)
         for state in finished:
@@ -275,6 +332,12 @@ class ColocatedInstance:
             self._kv.free(victim.request_id)
             self._recompute_len[victim.request_id] = victim.context_len
             victim.phase = RequestPhase.WAITING_PREFILL
+            self._trace.instant(
+                victim.request_id, SpanKind.PREEMPTED, self._sim.now, self.name
+            )
+            self._trace.begin(
+                victim.request_id, SpanKind.PREFILL_QUEUE, self._sim.now, self.name
+            )
             self._waiting.appendleft(victim)
             self.preemptions += 1
             return
@@ -299,6 +362,12 @@ class ColocatedInstance:
                 self._kv.allocate(head.request_id, need)
                 head.phase = RequestPhase.PREFILLING
                 head.stamp("prefill_start", self._sim.now)
+                self._trace.end(
+                    head.request_id, SpanKind.PREFILL_QUEUE, self._sim.now
+                )
+                self._trace.begin(
+                    head.request_id, SpanKind.PREFILL_EXEC, self._sim.now, self.name
+                )
             remaining = need - done
             take = remaining if combined else min(remaining, budget - spent)
             if take <= 0:
@@ -329,22 +398,33 @@ class ColocatedInstance:
             for s in chunk_owners
             if self._chunk_progress.get(s.request_id, 0) >= self._prompt_len(s)
         ]
+        step_start = self._sim.now
         self._sim.schedule(
-            duration, lambda: self._finish_mixed(decode_snapshot, completed)
+            duration, lambda: self._finish_mixed(decode_snapshot, completed, step_start)
         )
 
     def _finish_mixed(
         self,
         decode_batch: "list[RequestState]",
         prefilled: "list[RequestState]",
+        step_start: float = 0.0,
     ) -> None:
         for state in prefilled:
             was_preempted = state.request_id in self._recompute_len
             self._recompute_len.pop(state.request_id, None)
             self._chunk_progress.pop(state.request_id, None)
             state.stamp("prefill_end", self._sim.now)
+            self._trace.end(state.request_id, SpanKind.PREFILL_EXEC, self._sim.now)
             if not was_preempted and state.generated == 0:
                 state.record_token(self._sim.now)
+                self._trace.span(
+                    state.request_id,
+                    SpanKind.DECODE_STEP,
+                    self._sim.now,
+                    self._sim.now,
+                    self.name,
+                    token_index=0,
+                )
             state.phase = RequestPhase.DECODING
             state.stamp("decode_start", self._sim.now)
             if state.is_finished:
@@ -354,5 +434,5 @@ class ColocatedInstance:
             else:
                 self._running.append(state)
                 self._running_ids.add(state.request_id)
-        self._advance_decodes(decode_batch)
+        self._advance_decodes(decode_batch, step_start)
         self._run_iteration()

@@ -26,6 +26,7 @@ from .events import Simulation
 from .instance import InstanceSpec
 from .kvcache import KVBlockManager
 from .request import RequestPhase, RequestState
+from .tracing import NULL_TRACER, SpanKind, Tracer
 from ..latency.parallel import decode_times
 
 __all__ = ["DecodeInstance"]
@@ -44,6 +45,7 @@ class DecodeInstance:
             growth on demand (False — vLLM-style optimistic admission;
             an append failure then preempts the youngest request).
         name: Identifier for reporting.
+        tracer: Optional lifecycle tracer receiving queue/step spans.
     """
 
     def __init__(
@@ -53,6 +55,7 @@ class DecodeInstance:
         on_request_done: Callable[[RequestState], None],
         reserve_full_context: bool = True,
         name: str = "decode-0",
+        tracer: "Tracer | None" = None,
     ) -> None:
         self._sim = sim
         self.spec = spec
@@ -65,6 +68,7 @@ class DecodeInstance:
         self._kv: KVBlockManager = spec.make_kv_manager()
         self._coeffs = spec.latency_coeffs
         self._jitter = spec.make_jitter(name)
+        self._trace = tracer if tracer is not None else NULL_TRACER
         self._alive = True
         self._stepping = False
         # Instrumentation.
@@ -118,6 +122,9 @@ class DecodeInstance:
         """
         state.phase = RequestPhase.WAITING_DECODE
         state.stamp("decode_enqueue", self._sim.now)
+        self._trace.begin(
+            state.request_id, SpanKind.DECODE_QUEUE, self._sim.now, self.name
+        )
         self._waiting.append(state)
         self._kick()
 
@@ -132,6 +139,7 @@ class DecodeInstance:
             self._waiting.popleft()
             head.phase = RequestPhase.DECODING
             head.stamp("decode_start", self._sim.now)
+            self._trace.end(head.request_id, SpanKind.DECODE_QUEUE, self._sim.now)
             self._active.append(head)
             self._active_ids.add(head.request_id)
 
@@ -164,9 +172,12 @@ class DecodeInstance:
         self.steps_executed += 1
         self.busy_time += duration
         batch = list(self._active)
-        self._sim.schedule(duration, lambda: self._finish_step(batch))
+        step_start = self._sim.now
+        self._sim.schedule(duration, lambda: self._finish_step(batch, step_start))
 
-    def _finish_step(self, batch: "list[RequestState]") -> None:
+    def _finish_step(
+        self, batch: "list[RequestState]", step_start: float = 0.0
+    ) -> None:
         if not self._alive:
             return  # the instance died mid-step; victims re-routed
         finished: "list[RequestState]" = []
@@ -182,6 +193,16 @@ class DecodeInstance:
                         continue  # skip this token; retried next step
                 self._kv.append(state.request_id)
             state.record_token(self._sim.now)
+            if self._trace.enabled:
+                self._trace.span(
+                    state.request_id,
+                    SpanKind.DECODE_STEP,
+                    step_start,
+                    self._sim.now,
+                    self.name,
+                    batch_size=len(batch),
+                    token_index=state.generated - 1,
+                )
             if state.is_finished:
                 finished.append(state)
         for state in finished:
@@ -228,5 +249,11 @@ class DecodeInstance:
         self._active_ids.discard(victim.request_id)
         self._kv.free(victim.request_id)
         victim.phase = RequestPhase.WAITING_DECODE
+        self._trace.instant(
+            victim.request_id, SpanKind.PREEMPTED, self._sim.now, self.name
+        )
+        self._trace.begin(
+            victim.request_id, SpanKind.DECODE_QUEUE, self._sim.now, self.name
+        )
         self._waiting.appendleft(victim)
         self.preemptions += 1

@@ -29,6 +29,7 @@ from .events import Simulation
 from .instance import InstanceSpec
 from .kvcache import KVBlockManager
 from .request import RequestPhase, RequestState
+from .tracing import NULL_TRACER, SpanKind, Tracer
 from ..latency.parallel import ExecutionTimes, prefill_times
 from ..latency.prefill import saturation_length
 
@@ -53,6 +54,7 @@ class PrefillInstance:
             when ranking under ``"sjf"``; higher values age waiting
             requests toward the front faster, bounding starvation.
         name: Identifier for reporting.
+        tracer: Optional lifecycle tracer receiving queue/exec spans.
     """
 
     def __init__(
@@ -64,6 +66,7 @@ class PrefillInstance:
         queue_policy: str = "fcfs",
         sjf_aging: float = 2000.0,
         name: str = "prefill-0",
+        tracer: "Tracer | None" = None,
     ) -> None:
         if queue_policy not in ("fcfs", "sjf"):
             raise ValueError(
@@ -86,6 +89,7 @@ class PrefillInstance:
             else saturation_length(spec.model, self._coeffs, tp=spec.config.tp)
         )
         self._jitter = spec.make_jitter(name)
+        self._trace = tracer if tracer is not None else NULL_TRACER
         self._alive = True
         self._in_flight_states: "dict[int, RequestState]" = {}
         # Pipeline conveyor state.
@@ -116,6 +120,9 @@ class PrefillInstance:
         """Accept a dispatched request (FCFS)."""
         state.phase = RequestPhase.WAITING_PREFILL
         state.stamp("prefill_enqueue", self._sim.now)
+        self._trace.begin(
+            state.request_id, SpanKind.PREFILL_QUEUE, self._sim.now, self.name
+        )
         self._queue.append(state)
         self._arm_scheduler()
 
@@ -221,6 +228,14 @@ class PrefillInstance:
         for state in batch:
             state.phase = RequestPhase.PREFILLING
             state.stamp("prefill_start", start)
+            self._trace.end(state.request_id, SpanKind.PREFILL_QUEUE, start)
+            self._trace.begin(
+                state.request_id,
+                SpanKind.PREFILL_EXEC,
+                start,
+                self.name,
+                batch_size=len(batch),
+            )
             self._in_flight_states[state.request_id] = state
         finish = start + times.request_latency
 
@@ -231,9 +246,21 @@ class PrefillInstance:
             for state in batch:
                 self._in_flight_states.pop(state.request_id, None)
                 state.stamp("prefill_end", self._sim.now)
+                self._trace.end(
+                    state.request_id, SpanKind.PREFILL_EXEC, self._sim.now
+                )
                 state.recompute_len = None
                 if state.generated == 0:
                     state.record_token(self._sim.now)  # the first output token
+                    self._trace.span(
+                        state.request_id,
+                        SpanKind.DECODE_STEP,
+                        self._sim.now,
+                        self._sim.now,
+                        self.name,
+                        batch_size=len(batch),
+                        token_index=0,
+                    )
                 state.phase = RequestPhase.TRANSFERRING
                 self._on_done(state)
             self._arm_scheduler()

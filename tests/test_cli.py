@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -47,3 +49,47 @@ class TestCommands:
     def test_serve_unknown_model(self):
         with pytest.raises(KeyError):
             main(["serve", "--model", "gpt-5"])
+
+    def test_trace_writes_chrome_and_jsonl(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "trace", "--model", "opt-1.3b", "--rate", "4.0",
+                "--requests", "20", "--out", str(out),
+                "--jsonl-out", str(jsonl),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "20/20 requests" in printed
+        assert "max |span-sum - e2e|" in printed
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert {"prefill_exec", "kv_transfer", "decode_step"} <= names
+        lines = jsonl.read_text().strip().split("\n")
+        assert all(json.loads(line)["kind"] for line in lines)
+
+    def test_trace_deterministic_outputs(self, tmp_path):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            assert main(
+                [
+                    "trace", "--model", "opt-1.3b", "--rate", "4.0",
+                    "--requests", "15", "--seed", "3", "--out", str(path),
+                ]
+            ) == 0
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_trace_colocated_mode(self, tmp_path):
+        out = tmp_path / "coloc.json"
+        assert main(
+            [
+                "trace", "--mode", "colocated", "--model", "opt-1.3b",
+                "--rate", "4.0", "--requests", "10", "--out", str(out),
+            ]
+        ) == 0
+        doc = json.loads(out.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "kv_transfer" not in names

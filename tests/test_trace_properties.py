@@ -1,0 +1,178 @@
+"""Property-based tests for trace invariants across random workloads.
+
+For arbitrary small workloads and either serving architecture, the span
+timeline must be well-formed: spans non-negative and inside the request's
+[arrival, completion] window, stage boundaries monotone, exactly one
+prefill execution and ``output_len`` decode-step spans per completed
+request, TTFT derivable from spans equal to what the percentile layer
+reports, and KV-transfer spans appearing only under disaggregation.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import request_breakdowns, ttft_percentile
+from repro.models import ModelArchitecture
+from repro.serving import ColocatedSystem, DisaggregatedSystem, simulate_trace
+from repro.simulator import (
+    InstanceSpec,
+    Simulation,
+    SpanKind,
+    Tracer,
+    spans_by_request,
+)
+from repro.workload import Request, Trace
+
+MODEL = ModelArchitecture("prop-trace", 8, 1024, 8, 4096)
+
+requests_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=3.0),   # arrival
+        st.integers(min_value=1, max_value=512),   # input_len
+        st.integers(min_value=1, max_value=24),    # output_len
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def make_trace(raw):
+    return Trace(
+        requests=[
+            Request(request_id=i, arrival_time=t, input_len=inp, output_len=out)
+            for i, (t, inp, out) in enumerate(raw)
+        ]
+    )
+
+
+def run_traced(system_kind, trace, **kwargs):
+    sim = Simulation()
+    tracer = Tracer()
+    spec = InstanceSpec(model=MODEL)
+    if system_kind == "disaggregated":
+        system = DisaggregatedSystem(sim, spec, spec, tracer=tracer, **kwargs)
+    else:
+        system = ColocatedSystem(sim, spec, tracer=tracer, **kwargs)
+    result = simulate_trace(system, trace, max_events=500_000)
+    return result, tracer
+
+
+def check_common_invariants(trace, result, tracer):
+    """Invariants shared by every serving architecture."""
+    assert result.unfinished == 0
+    assert not tracer.open_spans()
+    by_origin = {r.request_id: r for r in trace}
+    by_record = {r.request_id: r for r in result.records}
+    grouped = spans_by_request(tracer.spans)
+    assert sorted(grouped) == sorted(by_origin)
+    for rid, spans in grouped.items():
+        origin = by_origin[rid]
+        record = by_record[rid]
+        kinds = [s.kind for s in spans]
+        # Exactly one terminal pair, one prefill execution.
+        assert kinds.count(SpanKind.ARRIVAL) == 1
+        assert kinds.count(SpanKind.COMPLETION) == 1
+        assert kinds.count(SpanKind.PREFILL_EXEC) == 1
+        arrival = next(s for s in spans if s.kind == SpanKind.ARRIVAL).start
+        completion = next(s for s in spans if s.kind == SpanKind.COMPLETION).end
+        assert arrival == origin.arrival_time
+        # Every span is non-negative and inside [arrival, completion].
+        for span in spans:
+            assert span.duration >= 0.0
+            assert span.start >= arrival - 1e-12
+            assert span.end <= completion + 1e-12
+        # One decode_step per output token, indices 0..output_len-1, and
+        # token spans ordered in time.
+        steps = [s for s in spans if s.kind == SpanKind.DECODE_STEP]
+        assert len(steps) == origin.output_len
+        assert [s.token_index for s in steps] == list(range(origin.output_len))
+        for prev, cur in zip(steps, steps[1:]):
+            assert cur.end >= prev.end
+        # Spans are well-nested: stage boundaries never move backwards.
+        boundaries = [
+            s.end
+            for s in spans
+            if s.kind
+            in (
+                SpanKind.PREFILL_QUEUE,
+                SpanKind.PREFILL_EXEC,
+                SpanKind.KV_TRANSFER,
+                SpanKind.DECODE_QUEUE,
+            )
+        ]
+        assert boundaries == sorted(boundaries)
+        # TTFT from spans equals the record's TTFT.
+        first_token = steps[0].end
+        assert abs((first_token - arrival) - record.ttft) < 1e-12
+        assert abs(completion - record.finish_time) < 1e-12
+
+
+class TestTraceProperties:
+    @given(
+        raw=requests_strategy,
+        n_p=st.integers(min_value=1, max_value=2),
+        n_d=st.integers(min_value=1, max_value=2),
+        mode=st.sampled_from(["pull", "push"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_disaggregated_invariants(self, raw, n_p, n_d, mode):
+        trace = make_trace(raw)
+        result, tracer = run_traced(
+            "disaggregated", trace,
+            num_prefill=n_p, num_decode=n_d, transfer_mode=mode,
+        )
+        check_common_invariants(trace, result, tracer)
+        # kv_transfer exists exactly for multi-token requests, and every
+        # multi-token request also queues for decode.
+        by_id = {r.request_id: r for r in trace}
+        for rid, spans in spans_by_request(tracer.spans).items():
+            kinds = [s.kind for s in spans]
+            expected = 1 if by_id[rid].output_len > 1 else 0
+            assert kinds.count(SpanKind.KV_TRANSFER) == expected
+            assert kinds.count(SpanKind.DECODE_QUEUE) == expected
+
+    @given(
+        raw=requests_strategy,
+        policy=st.sampled_from(["prefill_priority", "combined", "chunked"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_colocated_invariants(self, raw, policy):
+        trace = make_trace(raw)
+        result, tracer = run_traced("colocated", trace, policy=policy)
+        check_common_invariants(trace, result, tracer)
+        # Colocation has no KV migration: transfer spans are exclusive
+        # to disaggregated mode.
+        assert all(s.kind != SpanKind.KV_TRANSFER for s in tracer.spans)
+
+    @given(raw=requests_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_ttft_percentiles_match_span_derivation(self, raw):
+        trace = make_trace(raw)
+        result, tracer = run_traced("disaggregated", trace)
+        grouped = spans_by_request(tracer.spans)
+        span_ttfts = []
+        for rid in sorted(grouped):
+            spans = grouped[rid]
+            arrival = next(s for s in spans if s.kind == SpanKind.ARRIVAL).start
+            first = min(
+                s.end for s in spans
+                if s.kind == SpanKind.DECODE_STEP and s.token_index == 0
+            )
+            span_ttfts.append(first - arrival)
+        records = sorted(result.records, key=lambda r: r.request_id)
+        record_ttfts = [r.ttft for r in records]
+        assert np.allclose(span_ttfts, record_ttfts, atol=1e-12, rtol=0.0)
+        for q in (50.0, 90.0, 99.0):
+            assert float(np.percentile(span_ttfts, q)) == ttft_percentile(
+                result.records, q
+            )
+
+    @given(raw=requests_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_stage_sums_reconcile_with_e2e(self, raw):
+        trace = make_trace(raw)
+        result, tracer = run_traced("disaggregated", trace)
+        by_id = {r.request_id: r.end_to_end_latency for r in result.records}
+        for b in request_breakdowns(tracer.spans):
+            assert abs(b.stage_sum - by_id[b.request_id]) < 1e-9

@@ -1,0 +1,263 @@
+"""Unit tests for the lifecycle tracing layer and its exporters."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    latency_breakdown,
+    latency_breakdown_from_spans,
+    request_breakdowns,
+)
+from repro.models import ModelArchitecture
+from repro.serving import (
+    ColocatedSystem,
+    DecodeOnlySystem,
+    DisaggregatedSystem,
+    PrefillOnlySystem,
+    simulate_trace,
+)
+from repro.simulator import (
+    NULL_TRACER,
+    InstanceSpec,
+    Simulation,
+    Span,
+    SpanKind,
+    Tracer,
+    chrome_trace_events,
+    spans_by_request,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.workload import Request, Trace
+
+MODEL = ModelArchitecture("trace-test", 8, 1024, 8, 4096)
+
+
+def small_trace(n=5, output_len=4):
+    return Trace(
+        requests=[
+            Request(request_id=i, arrival_time=0.25 * i, input_len=64 + i,
+                    output_len=output_len)
+            for i in range(n)
+        ]
+    )
+
+
+def run_disaggregated(trace, tracer=None, **kwargs):
+    sim = Simulation()
+    spec = InstanceSpec(model=MODEL)
+    system = DisaggregatedSystem(sim, spec, spec, tracer=tracer, **kwargs)
+    return simulate_trace(system, trace)
+
+
+class TestSpan:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown span kind"):
+            Span(request_id=0, kind="nonsense", start=0.0, end=1.0)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError, match="ends"):
+            Span(request_id=0, kind=SpanKind.PREFILL_EXEC, start=2.0, end=1.0)
+
+    def test_duration_and_dict_roundtrip(self):
+        span = Span(1, SpanKind.DECODE_STEP, 1.0, 1.5, "decode-0",
+                    batch_size=3, token_index=2)
+        assert span.duration == 0.5
+        d = span.to_dict()
+        assert d["kind"] == "decode_step"
+        assert d["token_index"] == 2
+        assert d["batch_size"] == 3
+
+
+class TestTracer:
+    def test_begin_end_records_interval(self):
+        tracer = Tracer()
+        tracer.begin(7, SpanKind.PREFILL_QUEUE, 1.0, "prefill-0")
+        tracer.end(7, SpanKind.PREFILL_QUEUE, 3.0)
+        (span,) = tracer.spans
+        assert (span.start, span.end, span.instance) == (1.0, 3.0, "prefill-0")
+
+    def test_end_without_begin_raises(self):
+        tracer = Tracer()
+        with pytest.raises(KeyError):
+            tracer.end(1, SpanKind.PREFILL_QUEUE, 1.0)
+
+    def test_rebegin_closes_dangling_span(self):
+        tracer = Tracer()
+        tracer.begin(1, SpanKind.PREFILL_QUEUE, 1.0, "prefill-0")
+        tracer.begin(1, SpanKind.PREFILL_QUEUE, 4.0, "prefill-1")
+        tracer.end(1, SpanKind.PREFILL_QUEUE, 6.0)
+        first, second = tracer.spans[0], tracer.spans[1]
+        assert (first.start, first.end) == (1.0, 4.0)
+        assert (second.start, second.end) == (4.0, 6.0)
+        assert not tracer.open_spans()
+
+    def test_open_spans_reports_in_flight(self):
+        tracer = Tracer()
+        tracer.begin(3, SpanKind.DECODE_QUEUE, 2.0, "decode-0")
+        assert tracer.open_spans() == [(3, SpanKind.DECODE_QUEUE, 2.0)]
+
+    def test_spans_for_filters_by_request(self):
+        tracer = Tracer()
+        tracer.instant(1, SpanKind.ARRIVAL, 0.0)
+        tracer.instant(2, SpanKind.ARRIVAL, 0.5)
+        tracer.instant(1, SpanKind.COMPLETION, 2.0)
+        assert [s.kind for s in tracer.spans_for(1)] == [
+            SpanKind.ARRIVAL, SpanKind.COMPLETION
+        ]
+
+    def test_null_tracer_is_inert(self):
+        NULL_TRACER.begin(1, SpanKind.PREFILL_QUEUE, 0.0)
+        NULL_TRACER.end(1, SpanKind.PREFILL_QUEUE, 1.0)
+        NULL_TRACER.span(1, SpanKind.DECODE_STEP, 0.0, 1.0)
+        NULL_TRACER.instant(1, SpanKind.ARRIVAL, 0.0)
+        assert not NULL_TRACER.enabled
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.open_spans() == []
+
+
+class TestExporters:
+    def _spans(self):
+        tracer = Tracer()
+        tracer.instant(0, SpanKind.ARRIVAL, 0.0)
+        tracer.span(0, SpanKind.PREFILL_EXEC, 0.0, 0.5, "prefill-0", batch_size=2)
+        tracer.span(0, SpanKind.DECODE_STEP, 0.5, 0.5, "prefill-0", token_index=0)
+        tracer.instant(0, SpanKind.COMPLETION, 0.5)
+        return tracer.spans
+
+    def test_jsonl_is_one_sorted_object_per_line(self):
+        text = to_jsonl(self._spans())
+        lines = text.strip().split("\n")
+        assert len(lines) == 4
+        for line in lines:
+            obj = json.loads(line)
+            assert list(obj) == sorted(obj)
+
+    def test_jsonl_empty(self):
+        assert to_jsonl([]) == ""
+
+    def test_chrome_trace_structure(self):
+        doc = to_chrome_trace(self._spans())
+        events = doc["traceEvents"]
+        phases = [e["ph"] for e in events]
+        assert "M" in phases       # process/thread metadata
+        assert "X" in phases       # the prefill_exec interval
+        assert "i" in phases       # arrival/completion instants
+        exec_event = next(e for e in events if e["name"] == "prefill_exec")
+        assert exec_event["dur"] == pytest.approx(0.5e6)
+        assert exec_event["args"]["batch_size"] == 2
+        step = next(e for e in events if e["name"] == "decode_step")
+        assert step["ph"] == "i"   # zero-width first token renders as instant
+        assert step["args"]["token_index"] == 0
+
+    def test_writers_produce_identical_bytes(self, tmp_path):
+        spans = self._spans()
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_jsonl(str(a), spans)
+        write_jsonl(str(b), spans)
+        assert a.read_bytes() == b.read_bytes()
+        ca, cb = tmp_path / "a.json", tmp_path / "b.json"
+        write_chrome_trace(str(ca), spans)
+        write_chrome_trace(str(cb), spans)
+        assert ca.read_bytes() == cb.read_bytes()
+        json.loads(ca.read_text())  # valid JSON document
+
+
+class TestSystemIntegration:
+    def test_disaggregated_emits_full_lifecycle(self):
+        tracer = Tracer()
+        trace = small_trace()
+        res = run_disaggregated(trace, tracer=tracer)
+        assert res.completed == len(trace)
+        assert res.spans == tracer.spans
+        assert not tracer.open_spans()
+        for rid, spans in spans_by_request(res.spans).items():
+            kinds = [s.kind for s in spans]
+            assert kinds.count(SpanKind.ARRIVAL) == 1
+            assert kinds.count(SpanKind.COMPLETION) == 1
+            assert kinds.count(SpanKind.PREFILL_EXEC) == 1
+            assert kinds.count(SpanKind.KV_TRANSFER) == 1
+            assert kinds.count(SpanKind.DECODE_STEP) == trace[rid].output_len
+
+    def test_no_tracer_means_no_spans(self):
+        res = run_disaggregated(small_trace())
+        assert res.spans == []
+
+    def test_colocated_has_no_transfer_spans(self):
+        sim = Simulation()
+        tracer = Tracer()
+        system = ColocatedSystem(sim, InstanceSpec(model=MODEL), tracer=tracer)
+        res = simulate_trace(system, small_trace())
+        assert res.completed == 5
+        assert all(s.kind != SpanKind.KV_TRANSFER for s in res.spans)
+        assert all(s.kind != SpanKind.DECODE_QUEUE for s in res.spans)
+
+    def test_phase_only_systems_trace(self):
+        for cls in (PrefillOnlySystem, DecodeOnlySystem):
+            sim = Simulation()
+            tracer = Tracer()
+            system = cls(sim, InstanceSpec(model=MODEL), tracer=tracer)
+            res = simulate_trace(system, small_trace())
+            assert res.completed == 5
+            by_req = spans_by_request(res.spans)
+            for rid, spans in by_req.items():
+                kinds = [s.kind for s in spans]
+                assert kinds.count(SpanKind.DECODE_STEP) == 4
+                assert kinds.count(SpanKind.COMPLETION) == 1
+
+    def test_single_token_request_skips_transfer_and_decode(self):
+        tracer = Tracer()
+        trace = Trace(requests=[Request(0, 0.0, 64, 1)])
+        res = run_disaggregated(trace, tracer=tracer)
+        assert res.completed == 1
+        kinds = [s.kind for s in res.spans]
+        assert SpanKind.KV_TRANSFER not in kinds
+        assert SpanKind.DECODE_QUEUE not in kinds
+        assert kinds.count(SpanKind.DECODE_STEP) == 1
+
+    def test_spans_deterministic_across_runs(self):
+        t1, t2 = Tracer(), Tracer()
+        run_disaggregated(small_trace(), tracer=t1, num_prefill=2, num_decode=2)
+        run_disaggregated(small_trace(), tracer=t2, num_prefill=2, num_decode=2)
+        assert to_jsonl(t1.spans) == to_jsonl(t2.spans)
+
+
+class TestSpanBreakdowns:
+    def test_stage_sums_reconcile_with_records(self):
+        tracer = Tracer()
+        res = run_disaggregated(small_trace(8), tracer=tracer,
+                                num_prefill=2, num_decode=2)
+        by_id = {r.request_id: r for r in res.records}
+        breakdowns = request_breakdowns(res.spans)
+        assert len(breakdowns) == len(res.records)
+        for b in breakdowns:
+            rec = by_id[b.request_id]
+            assert b.stage_sum == pytest.approx(rec.end_to_end_latency, abs=1e-9)
+            assert b.end_to_end_latency == pytest.approx(rec.end_to_end_latency)
+            for stage in ("prefill_queue", "prefill_exec", "transfer",
+                          "decode_queue", "decode_exec"):
+                assert getattr(b, stage) >= 0.0
+
+    def test_aggregate_matches_record_breakdown_total(self):
+        tracer = Tracer()
+        res = run_disaggregated(small_trace(8), tracer=tracer)
+        from_spans = latency_breakdown_from_spans(res.spans)
+        from_records = latency_breakdown(res.records)
+        assert from_spans.total == pytest.approx(from_records.total, rel=1e-9)
+        assert from_spans.prefill_exec == pytest.approx(
+            from_records.prefill_exec, rel=1e-9
+        )
+
+    def test_unfinished_requests_are_excluded(self):
+        tracer = Tracer()
+        sim = Simulation()
+        spec = InstanceSpec(model=MODEL)
+        system = DisaggregatedSystem(sim, spec, spec, tracer=tracer)
+        res = simulate_trace(system, small_trace(6, output_len=32),
+                             max_sim_time=0.05)
+        assert res.unfinished > 0
+        breakdowns = request_breakdowns(res.spans)
+        assert len(breakdowns) == res.completed
