@@ -1,4 +1,4 @@
-.PHONY: install test trace-demo golden-regen bench examples clean
+.PHONY: install test trace-demo metrics-demo golden-regen bench examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -11,6 +11,10 @@ test:
 trace-demo:
 	PYTHONPATH=src python -m repro.cli trace --model opt-13b --rate 2.0 \
 		--requests 100 --out /tmp/trace.json --jsonl-out /tmp/trace.jsonl
+
+metrics-demo:
+	PYTHONPATH=src python -m repro.cli metrics --model opt-13b --rate 3.0 \
+		--requests 300 --prom-out /tmp/metrics.prom --json-out /tmp/metrics.json
 
 golden-regen:
 	PYTHONPATH=src python -m tests.test_golden_trace --regen

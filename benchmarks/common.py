@@ -10,16 +10,17 @@ from __future__ import annotations
 import functools
 import json
 import pathlib
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis import AttainmentReport, slo_attainment
+from repro.analysis import AttainmentReport, phase_utilization, slo_attainment
 from repro.core import Placement, build_system, place_high_affinity, place_low_affinity
 from repro.hardware import Cluster, paper_testbed
 from repro.latency import ParallelismConfig
 from repro.models import get_model
-from repro.serving import ColocatedSystem, simulate_trace
-from repro.simulator import InstanceSpec, Simulation
+from repro.serving import ColocatedSystem, SimulationResult, simulate_trace
+from repro.simulator import InstanceSpec, MetricsRegistry, Simulation, SloMonitor
 from repro.workload import SLO, generate_trace, get_dataset, get_workload
 
 #: Requests per simulation trial. Modest so the full bench suite stays
@@ -142,6 +143,73 @@ def attainment_sweep(
         result = simulate_trace(system, trace, max_events=5_000_000)
         reports.append(slo_attainment(result.records, slo, num_expected=len(trace)))
     return reports
+
+
+@dataclass
+class InstrumentedTrial:
+    """One fully-instrumented trial: attainment plus the live-metrics view."""
+
+    report: AttainmentReport
+    utilization: "dict[str, float]"
+    registry: MetricsRegistry
+    monitor: SloMonitor
+    result: SimulationResult
+
+
+def run_instrumented_trial(
+    system_factory,
+    dataset,
+    slo: SLO,
+    rate: float,
+    num_requests: int = TRIAL_REQUESTS,
+    seed: int = 0,
+    window: float = 30.0,
+) -> InstrumentedTrial:
+    """One trial with the metrics registry and SLO monitor attached.
+
+    Same trace construction as :func:`attainment_sweep`, plus a
+    :class:`~repro.simulator.SloMonitor` observing every request and a
+    registry instrumenting every component — so benchmarks can report
+    per-phase utilization and violation streaks next to attainment.
+    """
+    n = max(num_requests, int(rate * 45.0))
+    trace = generate_trace(
+        dataset, rate=rate, num_requests=n, rng=np.random.default_rng(seed)
+    )
+    sim = Simulation()
+    system = system_factory(sim)
+    registry = MetricsRegistry()
+    monitor = SloMonitor(sim, slo, window=window, registry=registry)
+    system.attach_monitor(monitor)
+    system.instrument(registry)
+    result = simulate_trace(system, trace, max_events=5_000_000)
+    report = slo_attainment(result.records, slo, num_expected=len(trace))
+    return InstrumentedTrial(
+        report=report,
+        utilization=phase_utilization(registry),
+        registry=registry,
+        monitor=monitor,
+        result=result,
+    )
+
+
+def attainment_utilization_sweep(
+    system_factory,
+    dataset,
+    slo: SLO,
+    rates: "list[float]",
+    num_requests: int = TRIAL_REQUESTS,
+    seed: int = 0,
+) -> "list[InstrumentedTrial]":
+    """Instrumented variant of :func:`attainment_sweep` — one trial per
+    rate, each carrying per-phase utilization alongside attainment."""
+    return [
+        run_instrumented_trial(
+            system_factory, dataset, slo, rate,
+            num_requests=num_requests, seed=seed,
+        )
+        for rate in rates
+    ]
 
 
 def goodput_from_sweep(rates: "list[float]", reports: "list[AttainmentReport]",

@@ -19,8 +19,8 @@ from repro.analysis import tpot_percentile, ttft_percentile
 from repro.latency import ParallelismConfig
 from repro.models import get_model
 from repro.serving import DisaggregatedSystem
-from repro.simulator import Simulation
-from repro.workload import SHAREGPT, generate_trace
+from repro.simulator import Simulation, SloMonitor
+from repro.workload import SLO, SHAREGPT, generate_trace
 
 
 def run(kill: "str | None") -> None:
@@ -30,6 +30,8 @@ def run(kill: "str | None") -> None:
     spec = InstanceSpec(model=model, config=ParallelismConfig(1, 1))
     sim = Simulation()
     system = DisaggregatedSystem(sim, spec, spec, num_prefill=2, num_decode=2)
+    monitor = SloMonitor(sim, SLO(ttft=4.0, tpot=0.2), window=30.0)
+    system.attach_monitor(monitor)
     trace = generate_trace(
         SHAREGPT, rate=8.0, num_requests=400, rng=np.random.default_rng(0)
     )
@@ -48,6 +50,9 @@ def run(kill: "str | None") -> None:
           f"P90 TPOT {tpot_percentile(system.records):7.4f}s | "
           f"max TPOT {max(r.tpot for r in system.records):6.3f}s | "
           f"prefill batches {prefill_batches}")
+    # Windowed SLO view: the trailing window covers the post-failure
+    # tail, so attainment and the violation streak show the blast radius.
+    print(f"{'':12s}  {monitor.describe()}")
 
 
 def main() -> None:

@@ -28,8 +28,8 @@ from repro.queueing import (
     crossover_rate,
 )
 from repro.serving import PrefillOnlySystem, simulate_trace
-from repro.simulator import InstanceSpec, Simulation
-from repro.workload import fixed_length_dataset, generate_trace
+from repro.simulator import InstanceSpec, Simulation, SloMonitor
+from repro.workload import SLO, fixed_length_dataset, generate_trace
 
 
 def main() -> None:
@@ -55,20 +55,27 @@ def main() -> None:
         winner = "intra" if intra < inter else "inter"
         print(f"{rate:6.2f} | {single:8.3f} | {inter:8.3f} | {intra:8.3f} | {winner}")
 
-    # Cross-check one point against the simulator.
+    # Cross-check one point against the simulator; a live SLO monitor
+    # judges each completion against a TTFT budget of 4x the execution
+    # time D, so the windowed report shows queueing-induced violations.
     rate = 0.5 * max_rate
+    slo = SLO(ttft=4.0 * d, tpot=1.0)
     dataset = fixed_length_dataset(input_len, 1)
     for label, config in (("inter-op", ParallelismConfig(1, 2)),
                           ("intra-op", ParallelismConfig(2, 1))):
         spec = InstanceSpec(model=model, config=config)
         trace = generate_trace(dataset, rate, 400, np.random.default_rng(0))
         sim = Simulation()
-        res = simulate_trace(PrefillOnlySystem(sim, spec), trace)
+        system = PrefillOnlySystem(sim, spec)
+        monitor = SloMonitor(sim, slo, window=60.0)
+        system.attach_monitor(monitor)
+        res = simulate_trace(system, trace)
         measured = float(np.mean([r.ttft for r in res.records]))
         predicted = (avg_ttft_inter_op(rate, d, 2) if label == "inter-op"
                      else avg_ttft_intra_op(rate, d, k))
         print(f"\nDES check {label} @ {rate:.2f} req/s: "
               f"simulated {measured:.3f}s vs M/D/1 {predicted:.3f}s")
+        print(f"  online SLO (ttft <= 4D): {monitor.describe()}")
 
 
 if __name__ == "__main__":

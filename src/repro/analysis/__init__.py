@@ -9,6 +9,13 @@ from .breakdown import (
     request_breakdowns,
 )
 from .fidelity import FidelityReport, compare_runs
+from .metrics_export import (
+    phase_utilization,
+    registry_snapshot,
+    to_prometheus_text,
+    write_metrics_json,
+    write_prometheus_text,
+)
 from .percentiles import cdf_points, latency_summary, tpot_percentile, ttft_percentile
 from .reporting import format_series, format_table
 from .slo import AttainmentReport, slo_attainment
@@ -22,6 +29,11 @@ __all__ = [
     "request_breakdowns",
     "FidelityReport",
     "compare_runs",
+    "phase_utilization",
+    "registry_snapshot",
+    "to_prometheus_text",
+    "write_metrics_json",
+    "write_prometheus_text",
     "cdf_points",
     "latency_summary",
     "tpot_percentile",

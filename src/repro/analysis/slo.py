@@ -5,6 +5,11 @@ two things: the maximum per-GPU goodput and the minimal SLO the system
 can handle." This module computes attainment (total, TTFT-only, and
 TPOT-only, matching the dotted/dashed curves of Figure 8) from request
 records; the goodput search lives in :mod:`repro.core.goodput`.
+
+The *online* counterpart is :class:`repro.simulator.metrics.SloMonitor`,
+which maintains the same quantities in a sliding window as requests
+complete; its cumulative snapshot matches this offline computation
+exactly for the same records (same ``<=`` comparisons, same counts).
 """
 
 from __future__ import annotations

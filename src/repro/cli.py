@@ -8,6 +8,8 @@ Mirrors the operational surface of the original system's tooling::
     python -m repro.cli analyze --model opt-66b --input-len 512
     python -m repro.cli trace --model opt-13b --rate 2.0 --requests 100 \
         --out /tmp/trace.json
+    python -m repro.cli metrics --model opt-13b --rate 3.0 --requests 300 \
+        --prom-out /tmp/metrics.prom
 """
 
 from __future__ import annotations
@@ -18,10 +20,14 @@ import sys
 import numpy as np
 
 from .analysis import (
+    format_series,
     latency_breakdown_from_spans,
     latency_summary,
+    phase_utilization,
     request_breakdowns,
     slo_attainment,
+    write_metrics_json,
+    write_prometheus_text,
 )
 from .core import PlacementSearchStats, build_system, place_high_affinity, place_low_affinity
 from .hardware import get_gpu, paper_testbed
@@ -36,7 +42,10 @@ from .models import get_model, list_models
 from .serving import ColocatedSystem, DisaggregatedSystem, simulate_trace
 from .simulator import (
     InstanceSpec,
+    MetricsRegistry,
     Simulation,
+    SloMonitor,
+    TelemetryRecorder,
     Tracer,
     write_chrome_trace,
     write_jsonl,
@@ -160,6 +169,83 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run a seeded workload with full instrumentation and report it."""
+    model = get_model(args.model)
+    sim = Simulation()
+    if args.mode == "disaggregated":
+        prefill_spec = InstanceSpec(
+            model=model, config=ParallelismConfig(args.prefill_tp, args.prefill_pp)
+        )
+        decode_spec = InstanceSpec(
+            model=model, config=ParallelismConfig(args.decode_tp, args.decode_pp)
+        )
+        system = DisaggregatedSystem(
+            sim, prefill_spec, decode_spec,
+            num_prefill=args.num_prefill, num_decode=args.num_decode,
+        )
+    else:
+        spec = InstanceSpec(
+            model=model, config=ParallelismConfig(args.prefill_tp, args.prefill_pp)
+        )
+        system = ColocatedSystem(sim, spec, num_replicas=args.num_prefill)
+    slo = SLO(ttft=args.ttft, tpot=args.tpot)
+    registry = MetricsRegistry()
+    monitor = SloMonitor(sim, slo, window=args.window, registry=registry)
+    system.attach_monitor(monitor)
+    system.instrument(registry)
+    trace = generate_trace(
+        get_dataset(args.dataset), rate=args.rate, num_requests=args.requests,
+        rng=np.random.default_rng(args.seed),
+    )
+    # Time-series view: sample the windowed gauges on a fixed cadence
+    # for the whole arrival span plus drain slack.
+    recorder = TelemetryRecorder(sim, interval=args.interval)
+    recorder.register("attain_total", lambda: monitor.windowed_attainment().total)
+    recorder.register("attain_ttft", lambda: monitor.windowed_attainment().ttft_only)
+    recorder.register("attain_tpot", lambda: monitor.windowed_attainment().tpot_only)
+    recorder.register("goodput_rps", lambda: monitor.windowed_goodput()["total"])
+    recorder.register("in_flight", lambda: float(system.unfinished))
+    recorder.register(
+        "utilization",
+        lambda: sum(phase_utilization(registry).values())
+        / max(1, len(phase_utilization(registry))),
+    )
+    recorder.start(until=trace.duration + 2.0 * args.window)
+    result = simulate_trace(system, trace)
+
+    times = recorder.series("attain_total").times
+    print(format_series(
+        "t(s)", [f"{t:.0f}" for t in times],
+        {name: recorder.series(name).values for name in (
+            "attain_total", "attain_ttft", "attain_tpot",
+            "goodput_rps", "in_flight", "utilization",
+        )},
+        title=f"windowed SLO attainment & utilization "
+              f"(window={args.window:g}s, interval={args.interval:g}s)",
+    ))
+    print()
+    print(monitor.describe())
+    cum = monitor.cumulative_attainment()
+    offline = slo_attainment(result.records, slo)
+    print(f"cumulative attainment: total={cum.total:.3%} "
+          f"ttft={cum.ttft_only:.3%} tpot={cum.tpot_only:.3%} "
+          f"(n={cum.num_requests}; offline check: {offline.total:.3%})")
+    util = phase_utilization(registry)
+    if util:
+        print("per-phase utilization: "
+              + "  ".join(f"{phase}={value:.1%}" for phase, value in util.items()))
+    print(f"{result.completed}/{len(trace)} requests on {result.num_gpus} GPUs "
+          f"in {result.sim_time:.1f}s simulated")
+    if args.prom_out:
+        write_prometheus_text(args.prom_out, registry)
+        print(f"Prometheus text export written to {args.prom_out}")
+    if args.json_out:
+        write_metrics_json(args.json_out, registry)
+        print(f"JSON metrics snapshot written to {args.json_out}")
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     model = get_model(args.model)
     gpu = get_gpu(args.gpu)
@@ -233,6 +319,37 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--jsonl-out", default="",
                          help="optional JSON-lines span dump path")
 
+    metrics = sub.add_parser(
+        "metrics",
+        help="serve a trace with full instrumentation; report/export metrics",
+    )
+    metrics.add_argument("--model", default="opt-13b")
+    metrics.add_argument("--dataset", default="sharegpt")
+    metrics.add_argument("--mode", choices=("disaggregated", "colocated"),
+                         default="disaggregated")
+    metrics.add_argument("--rate", type=float, default=2.0)
+    metrics.add_argument("--requests", type=int, default=300)
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument("--num-prefill", type=int, default=1,
+                         help="prefill instances (replicas in colocated mode)")
+    metrics.add_argument("--num-decode", type=int, default=1)
+    metrics.add_argument("--prefill-tp", type=int, default=1)
+    metrics.add_argument("--prefill-pp", type=int, default=1)
+    metrics.add_argument("--decode-tp", type=int, default=1)
+    metrics.add_argument("--decode-pp", type=int, default=1)
+    metrics.add_argument("--ttft", type=float, default=4.0,
+                         help="TTFT SLO in seconds")
+    metrics.add_argument("--tpot", type=float, default=0.2,
+                         help="TPOT SLO in seconds")
+    metrics.add_argument("--window", type=float, default=30.0,
+                         help="sliding-window span for online attainment (s)")
+    metrics.add_argument("--interval", type=float, default=10.0,
+                         help="time-series sampling cadence (s)")
+    metrics.add_argument("--prom-out", default="",
+                         help="Prometheus text-format export path")
+    metrics.add_argument("--json-out", default="",
+                         help="JSON metrics snapshot path")
+
     analyze = sub.add_parser("analyze", help="latency-model analysis of a model")
     analyze.add_argument("--model", default="opt-13b")
     analyze.add_argument("--gpu", default="a100-80gb")
@@ -248,6 +365,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "plan": _cmd_plan,
         "serve": _cmd_serve,
         "trace": _cmd_trace,
+        "metrics": _cmd_metrics,
         "analyze": _cmd_analyze,
     }
     return handlers[args.command](args)

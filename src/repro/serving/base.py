@@ -12,6 +12,7 @@ import abc
 from dataclasses import dataclass, field
 
 from ..simulator.events import Simulation
+from ..simulator.metrics import MetricsRegistry, SloMonitor
 from ..simulator.request import RequestRecord, RequestState
 from ..simulator.tracing import NULL_TRACER, Span, SpanKind, Tracer
 from ..simulator.transfer import TransferRecord
@@ -37,6 +38,9 @@ class ServingSystem(abc.ABC):
         self._trace = tracer if tracer is not None else NULL_TRACER
         self.records: "list[RequestRecord]" = []
         self._submitted = 0
+        #: Requests refused admission (admission-control extensions).
+        self.rejections = 0
+        self._monitor: "SloMonitor | None" = None
 
     @abc.abstractmethod
     def submit(self, request: Request) -> None:
@@ -51,14 +55,60 @@ class ServingSystem(abc.ABC):
         """Requests accepted but not yet completed."""
         return self._submitted - len(self.records)
 
+    @property
+    def monitor(self) -> "SloMonitor | None":
+        """The attached online SLO monitor, if any."""
+        return self._monitor
+
+    def attach_monitor(self, monitor: SloMonitor) -> None:
+        """Feed arrivals/completions into an online SLO monitor.
+
+        Attach before the first arrival so cumulative attainment covers
+        every request; the monitor then matches the offline
+        :func:`repro.analysis.slo.slo_attainment` computation exactly.
+        """
+        self._monitor = monitor
+
+    def instrument(self, registry: MetricsRegistry) -> None:
+        """Register system-level metrics, then per-component ones.
+
+        Idempotent; subclasses extend :meth:`_instrument_components` to
+        cover their instances, dispatchers, and transfer engines.
+        """
+        registry.counter(
+            "repro_requests_submitted_total", "Requests accepted by the system",
+            fn=lambda: self._submitted,
+        )
+        registry.counter(
+            "repro_requests_completed_total", "Requests fully served",
+            fn=lambda: len(self.records),
+        )
+        registry.counter(
+            "repro_requests_rejected_total", "Requests refused admission",
+            fn=lambda: self.rejections,
+        )
+        registry.gauge(
+            "repro_requests_in_flight", "Accepted but not yet completed",
+            fn=lambda: self.unfinished,
+        )
+        self._instrument_components(registry)
+
+    def _instrument_components(self, registry: MetricsRegistry) -> None:
+        """Subclass hook: instrument instances/dispatchers/transfers."""
+
     def _register(self, request: Request) -> RequestState:
         self._submitted += 1
         self._trace.instant(request.request_id, SpanKind.ARRIVAL, self.sim.now)
+        if self._monitor is not None:
+            self._monitor.observe_arrival(request)
         return RequestState(request=request)
 
     def _complete(self, state: RequestState) -> None:
-        self.records.append(state.to_record())
+        record = state.to_record()
+        self.records.append(record)
         self._trace.instant(state.request_id, SpanKind.COMPLETION, self.sim.now)
+        if self._monitor is not None:
+            self._monitor.observe_completion(record)
 
     def num_gpus(self) -> int:
         """GPUs provisioned by this system (for per-GPU goodput)."""

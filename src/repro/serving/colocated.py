@@ -15,6 +15,7 @@ from .dispatch import Dispatcher
 from ..simulator.colocated_instance import ColocatedInstance
 from ..simulator.events import Simulation
 from ..simulator.instance import InstanceSpec
+from ..simulator.metrics import MetricsRegistry
 from ..simulator.request import RequestState
 from ..simulator.tracing import Tracer
 from ..workload.trace import Request
@@ -76,6 +77,11 @@ class ColocatedSystem(ServingSystem):
 
     def num_gpus(self) -> int:
         return self.spec.num_gpus * len(self.instances)
+
+    def _instrument_components(self, registry: MetricsRegistry) -> None:
+        for inst in self.instances:
+            inst.instrument(registry)
+        self._dispatcher.instrument(registry, pool="replica")
 
     @property
     def total_preemptions(self) -> int:

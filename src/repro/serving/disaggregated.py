@@ -24,6 +24,7 @@ from ..latency.comm import kv_cache_bytes
 from ..simulator.decode_instance import DecodeInstance
 from ..simulator.events import Simulation
 from ..simulator.instance import InstanceSpec
+from ..simulator.metrics import MetricsRegistry
 from ..simulator.prefill_instance import PrefillInstance
 from ..simulator.request import RequestState
 from ..simulator.tracing import SpanKind, Tracer
@@ -126,6 +127,29 @@ class DisaggregatedSystem(ServingSystem):
         return self.prefill_spec.num_gpus * len(
             self.prefill_instances
         ) + self.decode_spec.num_gpus * len(self.decode_instances)
+
+    def _instrument_components(self, registry: MetricsRegistry) -> None:
+        for inst in self.prefill_instances:
+            inst.instrument(registry)
+        for inst in self.decode_instances:
+            inst.instrument(registry)
+        self._transfers.instrument(registry)
+        self._prefill_dispatch.instrument(registry, pool="prefill")
+        self._decode_dispatch.instrument(registry, pool="decode")
+        registry.gauge(
+            "repro_pending_pull_requests",
+            "KV caches parked on prefill memory awaiting a decode reservation",
+            fn=lambda: sum(len(q) for q in self._pending_pull.values()),
+        )
+        registry.gauge(
+            "repro_inflight_reserved_blocks",
+            "Decode KV blocks promised to transfers still in flight",
+            fn=lambda: sum(self._inflight_blocks.values()),
+        )
+        registry.counter(
+            "repro_instance_failures_total", "Instances killed by fault injection",
+            fn=lambda: self.failures,
+        )
 
     # ------------------------------------------------------------------
     def submit(self, request: Request) -> None:

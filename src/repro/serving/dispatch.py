@@ -12,6 +12,8 @@ from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
+from ..simulator.metrics import MetricsRegistry
+
 __all__ = ["Dispatcher", "make_dispatcher", "DISPATCH_POLICIES"]
 
 T = TypeVar("T")
@@ -45,11 +47,22 @@ class Dispatcher:
         self._load_fn = load_fn
         self._rng = rng
         self._next = 0
+        #: Routing decisions made (instrumentation).
+        self.dispatches = 0
+
+    def instrument(self, registry: MetricsRegistry, pool: str) -> None:
+        """Export the routing-decision counter for this pool."""
+        registry.counter(
+            "repro_dispatch_total", "Routing decisions, by pool and policy",
+            labels={"pool": pool, "policy": self.policy},
+            fn=lambda: self.dispatches,
+        )
 
     def choose(self, instances: "Sequence[T]") -> T:
         """Pick the target instance for one request."""
         if not instances:
             raise ValueError("no instances to dispatch to")
+        self.dispatches += 1
         if self.policy == "least_loaded":
             return min(instances, key=self._load_fn)
         if self.policy == "round_robin":

@@ -19,6 +19,7 @@ from .dispatch import Dispatcher
 from ..simulator.decode_instance import DecodeInstance
 from ..simulator.events import Simulation
 from ..simulator.instance import InstanceSpec
+from ..simulator.metrics import MetricsRegistry
 from ..simulator.prefill_instance import PrefillInstance
 from ..simulator.request import RequestState
 from ..simulator.tracing import SpanKind, Tracer
@@ -47,6 +48,11 @@ class PrefillOnlySystem(ServingSystem):
             for i in range(num_instances)
         ]
         self._dispatch = Dispatcher("least_loaded", load_fn=lambda i: i.queue_len)
+
+    def _instrument_components(self, registry: MetricsRegistry) -> None:
+        for inst in self.instances:
+            inst.instrument(registry)
+        self._dispatch.instrument(registry, pool="prefill")
 
     def submit(self, request: Request) -> None:
         state = self._register(request)
@@ -92,6 +98,11 @@ class DecodeOnlySystem(ServingSystem):
             for i in range(num_instances)
         ]
         self._dispatch = Dispatcher("least_loaded", load_fn=lambda i: i.load)
+
+    def _instrument_components(self, registry: MetricsRegistry) -> None:
+        for inst in self.instances:
+            inst.instrument(registry)
+        self._dispatch.instrument(registry, pool="decode")
 
     def submit(self, request: Request) -> None:
         state = self._register(request)

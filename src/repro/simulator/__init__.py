@@ -6,9 +6,20 @@ from .decode_instance import DecodeInstance
 from .events import Simulation
 from .instance import DEFAULT_BLOCK_SIZE, InstanceSpec
 from .kvcache import KVBlockManager, OutOfBlocksError
+from .metrics import (
+    AttainmentSnapshot,
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    SloMonitor,
+    exponential_buckets,
+)
 from .prefill_instance import PrefillInstance
 from .request import RequestPhase, RequestRecord, RequestState
-from .telemetry import GaugeSeries, TelemetryRecorder
+from .telemetry import GaugeSeries, GaugeSummary, TelemetryRecorder
 from .tracing import (
     NULL_TRACER,
     NullTracer,
@@ -37,7 +48,17 @@ __all__ = [
     "RequestPhase",
     "RequestRecord",
     "RequestState",
+    "AttainmentSnapshot",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "SloMonitor",
+    "exponential_buckets",
     "GaugeSeries",
+    "GaugeSummary",
     "TelemetryRecorder",
     "NULL_TRACER",
     "NullTracer",

@@ -32,6 +32,7 @@ from typing import Callable, Deque
 from .events import Simulation
 from .instance import InstanceSpec
 from .kvcache import KVBlockManager
+from .metrics import MetricsRegistry
 from .request import RequestPhase, RequestState
 from .tracing import NULL_TRACER, SpanKind, Tracer
 from ..latency.mixed import mixed_batch_latency
@@ -96,11 +97,64 @@ class ColocatedInstance:
         self.mixed_iterations = 0
         self.preemptions = 0
         self.busy_time = 0.0
+        self.tokens_prefilled = 0
+        self.tokens_generated = 0
 
     # ------------------------------------------------------------------
     @property
     def load(self) -> int:
         return len(self._waiting) + len(self._running)
+
+    def instrument(self, registry: MetricsRegistry) -> None:
+        """Register this replica's gauges/counters (callback-backed)."""
+        labels = {"phase": "colocated", "instance": self.name}
+        registry.gauge(
+            "repro_queue_depth", "Requests waiting for a batch slot",
+            labels=labels, fn=lambda: len(self._waiting),
+        )
+        registry.gauge(
+            "repro_batch_size", "Active continuous-batching set size",
+            labels=labels, fn=lambda: len(self._running),
+        )
+        registry.gauge(
+            "repro_chunked_prefill_tokens",
+            "Prompt tokens mid-chunked-prefill (chunked policy occupancy)",
+            labels=labels, fn=lambda: sum(self._chunk_progress.values()),
+        )
+        registry.gauge(
+            "repro_kv_blocks_used", "KV-cache blocks allocated",
+            labels=labels, fn=lambda: self._kv.used_blocks,
+        )
+        registry.gauge(
+            "repro_kv_blocks_free", "KV-cache blocks available",
+            labels=labels, fn=lambda: self._kv.free_blocks,
+        )
+        for kind, fn in (
+            ("prefill", lambda: self.prefill_iterations),
+            ("decode", lambda: self.decode_iterations),
+            ("mixed", lambda: self.mixed_iterations),
+        ):
+            registry.counter(
+                "repro_iterations_total", "Iterations executed, by kind",
+                labels={**labels, "kind": kind}, fn=fn,
+            )
+        registry.counter(
+            "repro_tokens_total", "Tokens processed by the phase",
+            labels=labels, fn=lambda: self.tokens_prefilled + self.tokens_generated,
+        )
+        registry.counter(
+            "repro_busy_seconds_total", "Virtual seconds spent executing",
+            labels=labels, fn=lambda: self.busy_time,
+        )
+        registry.counter(
+            "repro_preemptions_total", "Recompute preemptions",
+            labels=labels, fn=lambda: self.preemptions,
+        )
+        registry.gauge(
+            "repro_utilization", "Busy fraction of elapsed virtual time",
+            labels=labels,
+            fn=lambda: self.busy_time / self._sim.now if self._sim.now > 0 else 0.0,
+        )
 
     def submit(self, state: RequestState) -> None:
         """Accept an arriving request."""
@@ -167,6 +221,7 @@ class ColocatedInstance:
             duration = times.request_latency * self._jitter()
             self.prefill_iterations += 1
             self.busy_time += duration
+            self.tokens_prefilled += sum(lens)
             for state in batch:
                 state.phase = RequestPhase.PREFILLING
                 state.stamp("prefill_start", self._sim.now)
@@ -238,6 +293,7 @@ class ColocatedInstance:
             duration = times.request_latency * self._jitter()
             self.prefill_iterations += 1
             self.busy_time += duration
+            self.tokens_prefilled += sum(lens)
             for state in batch:
                 state.phase = RequestPhase.PREFILLING
                 state.stamp("prefill_start", self._sim.now)
@@ -302,6 +358,7 @@ class ColocatedInstance:
                     continue  # still stuck; token retried next iteration
             self._kv.append(state.request_id)
             state.record_token(self._sim.now)
+            self.tokens_generated += 1
             if self._trace.enabled:
                 self._trace.span(
                     state.request_id,
@@ -392,6 +449,7 @@ class ColocatedInstance:
         ) * self._jitter()
         self.mixed_iterations += 1
         self.busy_time += duration
+        self.tokens_prefilled += spent
         decode_snapshot = list(self._running)
         completed = [
             s

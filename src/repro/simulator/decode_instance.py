@@ -25,6 +25,7 @@ from typing import Callable, Deque
 from .events import Simulation
 from .instance import InstanceSpec
 from .kvcache import KVBlockManager
+from .metrics import MetricsRegistry
 from .request import RequestPhase, RequestState
 from .tracing import NULL_TRACER, SpanKind, Tracer
 from ..latency.parallel import decode_times
@@ -75,6 +76,7 @@ class DecodeInstance:
         self.steps_executed = 0
         self.busy_time = 0.0
         self.preemptions = 0
+        self.tokens_generated = 0
 
     # ------------------------------------------------------------------
     @property
@@ -91,6 +93,47 @@ class DecodeInstance:
 
     def kv_free_tokens(self) -> int:
         return self._kv.free_blocks * self._kv.block_size
+
+    def instrument(self, registry: MetricsRegistry) -> None:
+        """Register this instance's gauges/counters (callback-backed)."""
+        labels = {"phase": "decode", "instance": self.name}
+        registry.gauge(
+            "repro_queue_depth", "Requests waiting for a batch slot",
+            labels=labels, fn=lambda: len(self._waiting),
+        )
+        registry.gauge(
+            "repro_batch_size", "Active continuous-batching set size",
+            labels=labels, fn=lambda: len(self._active),
+        )
+        registry.gauge(
+            "repro_kv_blocks_used", "KV-cache blocks allocated",
+            labels=labels, fn=lambda: self._kv.used_blocks,
+        )
+        registry.gauge(
+            "repro_kv_blocks_free", "KV-cache blocks available",
+            labels=labels, fn=lambda: self._kv.free_blocks,
+        )
+        registry.counter(
+            "repro_batches_total", "Batches/steps executed",
+            labels=labels, fn=lambda: self.steps_executed,
+        )
+        registry.counter(
+            "repro_tokens_total", "Tokens processed by the phase",
+            labels=labels, fn=lambda: self.tokens_generated,
+        )
+        registry.counter(
+            "repro_busy_seconds_total", "Virtual seconds spent executing",
+            labels=labels, fn=lambda: self.busy_time,
+        )
+        registry.counter(
+            "repro_preemptions_total", "Recompute preemptions",
+            labels=labels, fn=lambda: self.preemptions,
+        )
+        registry.gauge(
+            "repro_utilization", "Busy fraction of elapsed virtual time",
+            labels=labels,
+            fn=lambda: self.busy_time / self._sim.now if self._sim.now > 0 else 0.0,
+        )
 
     def can_reserve(self, state: RequestState, extra_blocks: int = 0) -> bool:
         """Whether admitting ``state`` now would find KV space.
@@ -193,6 +236,7 @@ class DecodeInstance:
                         continue  # skip this token; retried next step
                 self._kv.append(state.request_id)
             state.record_token(self._sim.now)
+            self.tokens_generated += 1
             if self._trace.enabled:
                 self._trace.span(
                     state.request_id,

@@ -28,6 +28,7 @@ from collections import deque
 from .events import Simulation
 from .instance import InstanceSpec
 from .kvcache import KVBlockManager
+from .metrics import MetricsRegistry
 from .request import RequestPhase, RequestState
 from .tracing import NULL_TRACER, SpanKind, Tracer
 from ..latency.parallel import ExecutionTimes, prefill_times
@@ -100,6 +101,7 @@ class PrefillInstance:
         # Instrumentation.
         self.batches_executed = 0
         self.busy_time = 0.0
+        self.tokens_prefilled = 0
 
     # ------------------------------------------------------------------
     @property
@@ -114,6 +116,47 @@ class PrefillInstance:
     def kv_tokens_held(self) -> int:
         """KV tokens parked on this instance awaiting pull."""
         return self._kv.used_blocks * self._kv.block_size
+
+    def instrument(self, registry: MetricsRegistry) -> None:
+        """Register this instance's gauges/counters (callback-backed).
+
+        Idempotent and zero hot-path cost: every metric reads existing
+        instrumentation attributes or live structures at collection time.
+        """
+        labels = {"phase": "prefill", "instance": self.name}
+        registry.gauge(
+            "repro_queue_depth", "Requests waiting for a batch slot",
+            labels=labels, fn=lambda: len(self._queue),
+        )
+        registry.gauge(
+            "repro_batch_inflight", "Batches in the pipeline conveyor",
+            labels=labels, fn=lambda: self._in_flight,
+        )
+        registry.gauge(
+            "repro_kv_blocks_used", "KV-cache blocks allocated",
+            labels=labels, fn=lambda: self._kv.used_blocks,
+        )
+        registry.gauge(
+            "repro_kv_blocks_free", "KV-cache blocks available",
+            labels=labels, fn=lambda: self._kv.free_blocks,
+        )
+        registry.counter(
+            "repro_batches_total", "Batches/steps executed",
+            labels=labels, fn=lambda: self.batches_executed,
+        )
+        registry.counter(
+            "repro_tokens_total", "Tokens processed by the phase",
+            labels=labels, fn=lambda: self.tokens_prefilled,
+        )
+        registry.counter(
+            "repro_busy_seconds_total", "Virtual seconds spent executing",
+            labels=labels, fn=lambda: self.busy_time,
+        )
+        registry.gauge(
+            "repro_utilization", "Busy fraction of elapsed virtual time",
+            labels=labels,
+            fn=lambda: self.busy_time / self._sim.now if self._sim.now > 0 else 0.0,
+        )
 
     # ------------------------------------------------------------------
     def submit(self, state: RequestState) -> None:
@@ -225,6 +268,7 @@ class PrefillInstance:
         self._in_flight += 1
         self.batches_executed += 1
         self.busy_time += times.stage_time
+        self.tokens_prefilled += sum(lens)
         for state in batch:
             state.phase = RequestPhase.PREFILLING
             state.stamp("prefill_start", start)

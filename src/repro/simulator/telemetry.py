@@ -6,10 +6,16 @@ consumes. :class:`TelemetryRecorder` samples any set of named gauges on
 a fixed virtual-time cadence and offers summary statistics, so tests
 and benchmarks can assert on *dynamics* (e.g. "decode batch size grew
 after the burst") rather than only end-state aggregates.
+
+For instantaneous *aggregate* metrics (counters, attainment, goodput)
+see :mod:`repro.simulator.metrics`; the recorder complements it by
+keeping a time-*series* of any callable — including metrics-registry
+reads — on a fixed cadence.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable
 
@@ -17,7 +23,26 @@ import numpy as np
 
 from .events import Simulation
 
-__all__ = ["GaugeSeries", "TelemetryRecorder"]
+__all__ = ["GaugeSeries", "GaugeSummary", "TelemetryRecorder"]
+
+
+@dataclass(frozen=True)
+class GaugeSummary:
+    """NaN-safe summary statistics of one gauge series.
+
+    Every field is ``nan`` when the series is empty (``count == 0``), so
+    callers can format or compare without guarding — unlike an
+    exception, ``nan`` propagates harmlessly through arithmetic and
+    renders as ``nan`` in reports.
+    """
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p99: float
 
 
 @dataclass
@@ -31,23 +56,45 @@ class GaugeSeries:
     def __len__(self) -> int:
         return len(self.times)
 
-    def mean(self) -> float:
+    def summary(self) -> GaugeSummary:
+        """NaN-safe statistics; all-``nan`` fields when empty."""
         if not self.values:
-            raise ValueError(f"gauge {self.name!r} has no samples")
-        return float(np.mean(self.values))
+            nan = float("nan")
+            return GaugeSummary(0, nan, nan, nan, nan, nan, nan)
+        arr = np.asarray(self.values, dtype=float)
+        p50, p90, p99 = np.percentile(arr, [50, 90, 99])
+        return GaugeSummary(
+            count=len(arr),
+            mean=float(arr.mean()),
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+            p50=float(p50),
+            p90=float(p90),
+            p99=float(p99),
+        )
+
+    def mean(self) -> float:
+        """Mean of the samples; ``nan`` when the series is empty."""
+        return self.summary().mean
 
     def max(self) -> float:
-        if not self.values:
-            raise ValueError(f"gauge {self.name!r} has no samples")
-        return float(np.max(self.values))
+        """Max of the samples; ``nan`` when the series is empty."""
+        return self.summary().maximum
 
     def percentile(self, q: float) -> float:
+        """The q-th percentile; ``nan`` when the series is empty."""
         if not self.values:
-            raise ValueError(f"gauge {self.name!r} has no samples")
+            return float("nan")
         return float(np.percentile(self.values, q))
 
     def value_at(self, time: float) -> float:
-        """Last sampled value at or before ``time`` (step interpolation)."""
+        """Last sampled value at or before ``time`` (step interpolation).
+
+        Unlike the summary statistics, this *raises* on an empty series
+        or a time before the first sample — asking "what was the value
+        at t" has no NaN-safe answer, and silently returning one would
+        mask a mis-registered gauge or a query outside the recording.
+        """
         if not self.times:
             raise ValueError(f"gauge {self.name!r} has no samples")
         idx = int(np.searchsorted(self.times, time, side="right")) - 1
@@ -66,6 +113,17 @@ class TelemetryRecorder:
         recorder.start(until=120.0)
         sim.run()
         series = recorder.series("decode_batch")
+
+    .. note:: **Interaction with** ``Simulation.run(max_events=...)``:
+       every sample after the first (which runs inline during
+       :meth:`start`) is an ordinary scheduled event, so a recorder
+       ticking until ``T`` adds ``floor(T / interval)`` events that
+       count against any ``max_events`` budget the caller passes to
+       :meth:`Simulation.run` — a tight budget can be consumed by
+       sampling alone, stopping the run earlier than the workload would.
+       Prefer a virtual-time bound (``run(until=...)``) when recording,
+       or widen ``max_events`` by the sample count above
+       (:attr:`samples_taken` reports it after the fact).
     """
 
     def __init__(self, sim: Simulation, interval: float = 1.0) -> None:
@@ -77,6 +135,9 @@ class TelemetryRecorder:
         self._series: "dict[str, GaugeSeries]" = {}
         self._running = False
         self._until = 0.0
+        #: Samples recorded so far; all but the first are simulation
+        #: events counted against any ``max_events`` budget.
+        self.samples_taken = 0
 
     def register(self, name: str, fn: "Callable[[], float]") -> None:
         """Add a gauge; must happen before :meth:`start`."""
@@ -99,6 +160,7 @@ class TelemetryRecorder:
 
     def _sample(self) -> None:
         now = self._sim.now
+        self.samples_taken += 1
         for name, fn in self._gauges.items():
             series = self._series[name]
             series.times.append(now)

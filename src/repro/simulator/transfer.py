@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from .events import Simulation
+from .metrics import Histogram, MetricsRegistry, exponential_buckets
 from ..hardware.network import NetworkLink
 
 __all__ = ["TransferEngine", "TransferRecord"]
@@ -53,6 +54,37 @@ class TransferEngine:
         self._links: "dict[int, _LinkState]" = {}
         self.records: "list[TransferRecord]" = []
         self.total_bytes = 0.0
+        # Instrumentation.
+        self.transfers_submitted = 0
+        #: Cumulative seconds transfers spent queued behind a busy link —
+        #: the burstiness signal of §4.3 (push mode piles up here).
+        self.stall_time = 0.0
+        self._duration_hist: "Histogram | None" = None
+
+    def instrument(self, registry: MetricsRegistry) -> None:
+        """Register transfer counters/histograms (callback-backed)."""
+        registry.counter(
+            "repro_kv_transfer_bytes_total", "KV-cache bytes migrated",
+            fn=lambda: self.total_bytes,
+        )
+        registry.counter(
+            "repro_kv_transfers_total", "KV-cache migrations submitted",
+            fn=lambda: self.transfers_submitted,
+        )
+        registry.counter(
+            "repro_kv_transfers_completed_total", "KV-cache migrations finished",
+            fn=lambda: len(self.records),
+        )
+        registry.counter(
+            "repro_kv_transfer_stall_seconds_total",
+            "Seconds transfers waited for a busy link",
+            fn=lambda: self.stall_time,
+        )
+        self._duration_hist = registry.histogram(
+            "repro_kv_transfer_seconds",
+            "Wire time of each migration (excludes link queuing)",
+            buckets=exponential_buckets(1e-4, 2.0, 16),
+        )
 
     def submit(
         self,
@@ -84,6 +116,10 @@ class TransferEngine:
         end = start + duration
         state.busy_until = end
         self.total_bytes += num_bytes
+        self.transfers_submitted += 1
+        self.stall_time += start - self._sim.now
+        if self._duration_hist is not None:
+            self._duration_hist.observe(duration)
 
         def _complete() -> None:
             self.records.append(

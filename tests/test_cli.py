@@ -82,6 +82,57 @@ class TestCommands:
             ) == 0
         assert paths[0].read_bytes() == paths[1].read_bytes()
 
+    def test_metrics_prints_report_and_exports(self, capsys, tmp_path):
+        prom = tmp_path / "m.prom"
+        jsonp = tmp_path / "m.json"
+        code = main(
+            [
+                "metrics", "--model", "opt-1.3b", "--rate", "4.0",
+                "--requests", "25", "--window", "10", "--interval", "5",
+                "--prom-out", str(prom), "--json-out", str(jsonp),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "windowed SLO attainment" in out
+        assert "cumulative attainment" in out
+        assert "per-phase utilization" in out
+        text = prom.read_text()
+        assert "# TYPE repro_slo_attainment_window gauge" in text
+        assert "repro_requests_completed_total 25" in text
+        doc = json.loads(jsonp.read_text())
+        assert doc["repro_requests_completed_total"]["samples"][0]["value"] == 25
+
+    def test_metrics_online_matches_offline(self, capsys):
+        assert main(
+            ["metrics", "--model", "opt-1.3b", "--rate", "4.0",
+             "--requests", "20"]
+        ) == 0
+        out = capsys.readouterr().out
+        # The cumulative line prints both the monitor's number and the
+        # offline slo_attainment check; they must agree exactly.
+        line = next(l for l in out.splitlines() if "cumulative attainment" in l)
+        online = line.split("total=")[1].split("%")[0]
+        offline = line.split("offline check: ")[1].split("%")[0]
+        assert online == offline
+
+    def test_metrics_export_deterministic(self, tmp_path):
+        paths = [tmp_path / "a.prom", tmp_path / "b.prom"]
+        for path in paths:
+            assert main(
+                ["metrics", "--model", "opt-1.3b", "--rate", "4.0",
+                 "--requests", "15", "--seed", "3", "--prom-out", str(path)]
+            ) == 0
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_metrics_colocated_mode(self, capsys):
+        assert main(
+            ["metrics", "--mode", "colocated", "--model", "opt-1.3b",
+             "--rate", "4.0", "--requests", "10"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "colocated=" in out
+
     def test_trace_colocated_mode(self, tmp_path):
         out = tmp_path / "coloc.json"
         assert main(

@@ -1,5 +1,7 @@
 """Tests for the telemetry recorder and its use on live instances."""
 
+import math
+
 import pytest
 
 from repro.simulator import (
@@ -75,6 +77,77 @@ class TestGaugeSampling:
     def test_invalid_interval(self):
         with pytest.raises(ValueError):
             TelemetryRecorder(Simulation(), interval=0.0)
+
+    def test_empty_series_summary_is_nan_safe(self):
+        sim = Simulation()
+        rec = TelemetryRecorder(sim, interval=1.0)
+        rec.register("g", lambda: 1.0)
+        # Never started: the series exists but has no samples.
+        series = rec.series("g")
+        summary = series.summary()
+        assert summary.count == 0
+        for field in ("mean", "minimum", "maximum", "p50", "p90", "p99"):
+            assert math.isnan(getattr(summary, field))
+        assert math.isnan(series.mean())
+        assert math.isnan(series.max())
+        assert math.isnan(series.percentile(50))
+        # value_at stays strict: "value at t" has no NaN-safe answer.
+        with pytest.raises(ValueError):
+            series.value_at(0.0)
+
+    def test_summary_matches_samples(self):
+        sim = Simulation()
+        rec = TelemetryRecorder(sim, interval=1.0)
+        values = iter([2.0, 4.0, 6.0])
+        rec.register("g", lambda: next(values))
+        rec.start(until=2.0)
+        sim.run(until=2.0)
+        summary = rec.series("g").summary()
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(4.0)
+        assert summary.minimum == 2.0
+        assert summary.maximum == 6.0
+        assert summary.p50 == pytest.approx(4.0)
+
+
+class TestMaxEventsInteraction:
+    """Recorder ticks are simulation events and consume max_events budgets.
+
+    Documents the interaction ISSUE'd as satellite 3: every sample after
+    the first (which runs inline in ``start()``) is one scheduled event,
+    so ``run(max_events=N)`` can be exhausted by sampling alone.
+    """
+
+    def test_sampling_consumes_event_budget(self):
+        sim = Simulation()
+        rec = TelemetryRecorder(sim, interval=1.0)
+        rec.register("g", lambda: 0.0)
+        rec.start(until=100.0)
+        sim.run(max_events=5)
+        # Only the budgeted samples ran: 1 inline + 5 scheduled.
+        assert rec.samples_taken == 6
+        assert sim.now == 5.0
+
+    def test_until_bound_is_not_budget_limited(self):
+        sim = Simulation()
+        rec = TelemetryRecorder(sim, interval=1.0)
+        rec.register("g", lambda: 0.0)
+        rec.start(until=10.0)
+        sim.run(until=10.0)
+        assert rec.samples_taken == 11  # t = 0..10 inclusive
+
+    def test_budget_shared_with_workload_events(self):
+        sim = Simulation()
+        fired = []
+        rec = TelemetryRecorder(sim, interval=1.0)
+        rec.register("g", lambda: float(len(fired)))
+        for t in (0.5, 1.5, 2.5):
+            sim.schedule_at(t, lambda t=t: fired.append(t))
+        rec.start(until=100.0)
+        # 4 events total: samples at t=1,2 interleave with work at 0.5, 1.5.
+        sim.run(max_events=4)
+        assert fired == [0.5, 1.5]
+        assert rec.samples_taken == 3  # inline t=0 plus t=1, t=2
 
 
 class TestInstanceTelemetry:
