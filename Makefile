@@ -1,4 +1,4 @@
-.PHONY: install test trace-demo metrics-demo golden-regen bench examples clean
+.PHONY: install test trace-demo metrics-demo golden-regen bench bench-search examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -21,6 +21,11 @@ golden-regen:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Search-acceleration benchmark: naive vs cached/pruned/parallel
+# placement search; writes BENCH_search.json at the repo root.
+bench-search:
+	PYTHONPATH=src python benchmarks/bench_fig12_algorithm_time.py
 
 examples:
 	python examples/quickstart.py

@@ -77,11 +77,20 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         traffic_rate=args.traffic or None,
         num_requests=args.trial_requests,
         stats=stats,
+        workers=args.workers,
         **kwargs,
     )
     print(placement.describe())
     print(f"(searched {stats.configs_evaluated} configs, "
           f"{stats.simulation_trials} simulation trials)")
+    if args.search_stats:
+        print(f"search wall time: {stats.wall_time_s:.2f}s "
+              f"({stats.workers} worker{'s' if stats.workers != 1 else ''})")
+        print(f"trial cache: {stats.cache_hits} hits / "
+              f"{stats.cache_misses} misses ({stats.cache_hit_rate:.1%} hit rate)")
+        print(f"pruned {stats.configs_pruned} config simulations; "
+              f"{stats.trials_aborted} trials early-aborted, "
+              f"{stats.trials_truncated} truncated")
     return 0
 
 
@@ -281,6 +290,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="use Algorithm 1 (fast cross-node fabric)")
     plan.add_argument("--candidates", type=int, default=3)
     plan.add_argument("--trial-requests", type=int, default=150)
+    plan.add_argument("--workers", type=int, default=1,
+                      help="simulation worker processes (<=1 runs in-process; "
+                           "the placement found is identical either way)")
+    plan.add_argument("--search-stats", action="store_true",
+                      help="print cache hit rate, pruned configs and wall time")
 
     serve = sub.add_parser("serve", help="simulate serving a trace")
     serve.add_argument("--model", default="opt-13b")

@@ -3,11 +3,26 @@
 from .config import PhasePlan, Placement
 from .cost import CostModel, compare_cost, cost_per_request
 from .deploy import build_system
-from .goodput import GoodputResult, attainment_at_rate, max_goodput, min_slo_scale
-from .placement_high import PlacementSearchStats, place_high_affinity
+from .goodput import (
+    GoodputResult,
+    TrialOutcome,
+    attainment_at_rate,
+    max_goodput,
+    min_slo_scale,
+    run_attainment_trial,
+)
+from .placement_high import place_high_affinity
 from .placement_low import IntraNodeConfig, get_intra_node_configs, place_low_affinity
 from .replan import DriftThresholds, ReplanController, WorkloadProfiler
-from .simulate import candidate_configs, simu_decode, simu_prefill
+from .search import (
+    GLOBAL_TRIAL_CACHE,
+    ParallelEvaluator,
+    PlacementSearchStats,
+    TrialCache,
+    fingerprint,
+    trial_context_fingerprint,
+)
+from .simulate import candidate_configs, phase_trial_setup, simu_decode, simu_prefill
 from .validate import ValidationReport, validate_placement
 
 __all__ = [
@@ -18,9 +33,11 @@ __all__ = [
     "Placement",
     "build_system",
     "GoodputResult",
+    "TrialOutcome",
     "attainment_at_rate",
     "max_goodput",
     "min_slo_scale",
+    "run_attainment_trial",
     "PlacementSearchStats",
     "place_high_affinity",
     "IntraNodeConfig",
@@ -29,7 +46,13 @@ __all__ = [
     "DriftThresholds",
     "ReplanController",
     "WorkloadProfiler",
+    "GLOBAL_TRIAL_CACHE",
+    "ParallelEvaluator",
+    "TrialCache",
+    "fingerprint",
+    "trial_context_fingerprint",
     "candidate_configs",
+    "phase_trial_setup",
     "simu_decode",
     "simu_prefill",
     "ValidationReport",

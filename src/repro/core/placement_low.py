@@ -16,19 +16,34 @@ is scored by simulating the full disaggregated system.
 Joint simulation is expensive, so candidates are first ranked by the
 cheap phase-level estimate ``min(n_p*goodput_p, n_d*goodput_d)`` and
 only the top ``joint_sim_candidates`` are jointly simulated — the same
-pruning spirit as the paper's parallelized search (§6.5).
+pruning spirit as the paper's parallelized search (§6.5). On top of
+that, the search-acceleration layer (:mod:`repro.core.search`) runs the
+unique phase simulations and the joint waves through a
+:class:`~repro.core.search.ParallelEvaluator` with trial memoization,
+and stops refining once the next candidate's estimate cannot beat the
+best joint per-GPU goodput already measured (the phase-level estimate
+upper-bounds the joint goodput: the full system adds queueing and
+KV-transfer delay on top of each phase in isolation).
 """
 
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from functools import partial
 
 from .config import PhasePlan, Placement
-from .goodput import max_goodput
-from .placement_high import PlacementSearchStats
-from .simulate import simu_decode, simu_prefill
+from .search import (
+    JOINT_PRUNE_WAVE,
+    ParallelEvaluator,
+    PlacementSearchStats,
+    TrialCache,
+    make_joint_task,
+    make_phase_task,
+    phase_slo_infeasible,
+    resolve_trial_cache,
+)
 from ..hardware.cluster import Cluster
 from ..latency.parallel import ParallelismConfig
 from ..models.architecture import ModelArchitecture
@@ -40,6 +55,9 @@ from ..workload.datasets import SyntheticDataset
 from ..workload.slos import SLO
 
 __all__ = ["IntraNodeConfig", "get_intra_node_configs", "place_low_affinity"]
+
+#: Arrival span of each joint deployment-unit trial.
+JOINT_TRIAL_MIN_DURATION = 45.0
 
 
 @dataclass(frozen=True)
@@ -154,12 +172,20 @@ def place_low_affinity(
     seed: int = 0,
     joint_sim_candidates: int = 5,
     stats: "PlacementSearchStats | None" = None,
+    workers: int = 1,
+    trial_cache: "TrialCache | None | bool" = None,
+    prune: bool = True,
+    early_abort: bool = True,
 ) -> Placement:
     """Algorithm 2 of the paper.
 
     Returns a placement whose deployment unit keeps every KV transfer on
     intra-node NVLink; the unit is replicated to carry ``traffic_rate``
     (pass ``None`` for a single, un-replicated deployment unit).
+
+    ``workers``, ``trial_cache``, ``prune`` and ``early_abort`` behave
+    as in :func:`repro.core.placement_high.place_high_affinity`; the
+    returned placement is identical for every combination.
 
     Raises:
         RuntimeError: if no feasible unit exists or SLOs are unattainable.
@@ -168,92 +194,135 @@ def place_low_affinity(
         raise ValueError(f"traffic_rate must be positive, got {traffic_rate}")
     n_limit = node_limit_per_instance or cluster.num_nodes
     gpu = cluster.gpu
+    cache = resolve_trial_cache(trial_cache)
+    st = stats if stats is not None else PlacementSearchStats()
+    st.workers = max(1, int(workers or 1))
+    t0 = time.perf_counter()
+    try:
+        # Enumerate candidate packings and the unique (kind, tp, pp)
+        # phase simulations they share, in discovery order.
+        cand_list: "list[IntraNodeConfig]" = []
+        phase_keys: "list[tuple[str, int, int]]" = []
+        seen: "set[tuple[str, int, int]]" = set()
+        for inter_op in range(1, n_limit + 1):
+            if inter_op > model.num_layers:
+                break
+            for cand in get_intra_node_configs(
+                model, inter_op, cluster.gpus_per_node, gpu.memory_bytes
+            ):
+                cand_list.append(cand)
+                for kind, tp in (
+                    ("prefill", cand.prefill_tp),
+                    ("decode", cand.decode_tp),
+                ):
+                    key = (kind, tp, inter_op)
+                    if key not in seen:
+                        seen.add(key)
+                        phase_keys.append(key)
+        st.configs_evaluated += len(cand_list)
+        if not cand_list:
+            raise RuntimeError(f"no feasible configuration for {model.name}")
 
-    # Phase-level goodput per (tp, pp) pair, shared across candidates.
-    phase_cache: "dict[tuple[str, int, int], float]" = {}
-
-    def phase_goodput(kind: str, tp: int, pp: int) -> float:
-        key = (kind, tp, pp)
-        if key not in phase_cache:
-            spec = InstanceSpec(
+        def phase_spec(tp: int, pp: int) -> InstanceSpec:
+            return InstanceSpec(
                 model=model,
                 config=ParallelismConfig(tp=tp, pp=pp),
                 gpu=gpu,
                 tp_link=cluster.intra_node_link,
-                pp_link=cluster.cross_node_link if pp > 1 else cluster.intra_node_link,
+                pp_link=(
+                    cluster.cross_node_link if pp > 1 else cluster.intra_node_link
+                ),
             )
-            fn = simu_prefill if kind == "prefill" else simu_decode
-            result = fn(
-                spec, dataset, slo,
-                attainment_target=attainment_target,
-                num_requests=num_requests, seed=seed,
-            )
-            if stats is not None:
-                stats.simulation_trials += result.trials
-            phase_cache[key] = result.goodput
-        return phase_cache[key]
 
-    candidates: "list[tuple[float, IntraNodeConfig]]" = []
-    for inter_op in range(1, n_limit + 1):
-        if inter_op > model.num_layers:
-            break
-        for cand in get_intra_node_configs(
-            model, inter_op, cluster.gpus_per_node, gpu.memory_bytes
-        ):
-            if stats is not None:
-                stats.configs_evaluated += 1
-            estimate = min(
-                cand.num_prefill * phase_goodput("prefill", cand.prefill_tp, inter_op),
-                cand.num_decode * phase_goodput("decode", cand.decode_tp, inter_op),
-            )
-            per_gpu = estimate / cand.num_gpus
-            candidates.append((per_gpu, cand))
+        best: "tuple[float, IntraNodeConfig, float] | None" = None
+        with ParallelEvaluator(workers) as evaluator:
+            # Phase-level goodput per unique (kind, tp, pp) — one batch
+            # of mutually independent simulations, ideal for fan-out.
+            phase_goodput: "dict[tuple[str, int, int], float]" = {}
+            tasks, slots = [], []
+            for key in phase_keys:
+                kind, tp, pp = key
+                if prune and phase_slo_infeasible(kind, phase_spec(tp, pp), dataset, slo):
+                    phase_goodput[key] = 0.0
+                    st.configs_pruned += 1
+                    continue
+                tasks.append(
+                    make_phase_task(
+                        kind, phase_spec(tp, pp), dataset, slo, attainment_target,
+                        num_requests, seed, cache, early_abort,
+                    )
+                )
+                slots.append(key)
+            for key, tr in zip(slots, evaluator.run(tasks)):
+                cache.merge(tr.context_fp, tr.new_entries)
+                st.absorb(tr)
+                phase_goodput[key] = tr.result.goodput
 
-    if not candidates:
-        raise RuntimeError(f"no feasible configuration for {model.name}")
-    candidates.sort(key=lambda item: item[0], reverse=True)
-    # A zero phase-level estimate means one phase cannot meet its SLO at
-    # any rate under that packing; such candidates cannot joint-simulate
-    # any better, so only probe them if nothing positive exists.
-    positive = [c for c in candidates if c[0] > 0]
-    if positive:
-        candidates = positive
+            candidates: "list[tuple[float, IntraNodeConfig]]" = []
+            for cand in cand_list:
+                estimate = min(
+                    cand.num_prefill
+                    * phase_goodput[("prefill", cand.prefill_tp, cand.inter_op)],
+                    cand.num_decode
+                    * phase_goodput[("decode", cand.decode_tp, cand.inter_op)],
+                )
+                candidates.append((estimate / cand.num_gpus, cand))
+            candidates.sort(key=lambda item: item[0], reverse=True)
+            # A zero phase-level estimate means one phase cannot meet its
+            # SLO at any rate under that packing; such candidates cannot
+            # joint-simulate any better, so only probe them if nothing
+            # positive exists.
+            positive = [c for c in candidates if c[0] > 0]
+            if positive:
+                candidates = positive
 
-    best: "tuple[float, IntraNodeConfig, float] | None" = None
-    for _estimate, cand in candidates[:joint_sim_candidates]:
-        result = max_goodput(
-            partial(_unit_factory, model, cluster, cand),
-            dataset,
-            slo,
-            attainment_target=attainment_target,
-            num_requests=num_requests,
-            seed=seed,
-            min_duration=45.0,
+            top = candidates[:joint_sim_candidates]
+            for start in range(0, len(top), JOINT_PRUNE_WAVE):
+                wave = top[start : start + JOINT_PRUNE_WAVE]
+                tasks, slots = [], []
+                for estimate, cand in wave:
+                    # Estimates are sorted descending, so once one falls
+                    # at or below the best measured joint per-GPU goodput
+                    # every remaining candidate is dominated too.
+                    if prune and best is not None and estimate <= best[0]:
+                        st.configs_pruned += 1
+                        continue
+                    tasks.append(
+                        make_joint_task(
+                            partial(_unit_factory, model, cluster, cand),
+                            dataset, slo, attainment_target,
+                            num_requests, seed, JOINT_TRIAL_MIN_DURATION,
+                            cache, early_abort,
+                        )
+                    )
+                    slots.append(cand)
+                for cand, tr in zip(slots, evaluator.run(tasks)):
+                    cache.merge(tr.context_fp, tr.new_entries)
+                    st.absorb(tr)
+                    per_gpu = tr.result.goodput / cand.num_gpus
+                    if best is None or per_gpu > best[0]:
+                        best = (per_gpu, cand, tr.result.goodput)
+
+        if best is None or best[2] <= 0:
+            raise RuntimeError(f"SLO {slo} unattainable for {model.name}")
+
+        per_gpu, cand, unit_goodput = best
+        if traffic_rate is None:
+            num_units = 1
+        else:
+            num_units = max(1, math.ceil(traffic_rate / unit_goodput))
+        return Placement(
+            prefill=PhasePlan(
+                config=ParallelismConfig(tp=cand.prefill_tp, pp=cand.inter_op),
+                num_instances=cand.num_prefill * num_units,
+                goodput_per_instance=unit_goodput / cand.num_prefill,
+            ),
+            decode=PhasePlan(
+                config=ParallelismConfig(tp=cand.decode_tp, pp=cand.inter_op),
+                num_instances=cand.num_decode * num_units,
+                goodput_per_instance=unit_goodput / cand.num_decode,
+            ),
+            kv_transfer_intra_node=True,
         )
-        if stats is not None:
-            stats.simulation_trials += result.trials
-        per_gpu = result.goodput / cand.num_gpus
-        if best is None or per_gpu > best[0]:
-            best = (per_gpu, cand, result.goodput)
-
-    if best is None or best[2] <= 0:
-        raise RuntimeError(f"SLO {slo} unattainable for {model.name}")
-
-    per_gpu, cand, unit_goodput = best
-    if traffic_rate is None:
-        num_units = 1
-    else:
-        num_units = max(1, math.ceil(traffic_rate / unit_goodput))
-    return Placement(
-        prefill=PhasePlan(
-            config=ParallelismConfig(tp=cand.prefill_tp, pp=cand.inter_op),
-            num_instances=cand.num_prefill * num_units,
-            goodput_per_instance=unit_goodput / cand.num_prefill,
-        ),
-        decode=PhasePlan(
-            config=ParallelismConfig(tp=cand.decode_tp, pp=cand.inter_op),
-            num_instances=cand.num_decode * num_units,
-            goodput_per_instance=unit_goodput / cand.num_decode,
-        ),
-        kv_transfer_intra_node=True,
-    )
+    finally:
+        st.wall_time_s += time.perf_counter() - t0

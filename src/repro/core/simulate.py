@@ -5,13 +5,19 @@ simulating the prefill phase and decoding phase *independently*
 (``simu_prefill`` / ``simu_decode`` in the paper's pseudocode). A phase
 passes its SLO alone — TTFT for prefill, TPOT for decoding — with an
 effectively unconstrained partner metric.
+
+:func:`phase_trial_setup` is the single source of truth for how a phase
+simulation is posed (system factory, masked SLO, trial duration); the
+search-acceleration layer (:mod:`repro.core.search`) uses it to build
+cache keys and worker tasks that are guaranteed to agree with what
+``simu_prefill``/``simu_decode`` would simulate in process.
 """
 
 from __future__ import annotations
 
 from functools import partial
 
-from .goodput import GoodputResult, max_goodput
+from .goodput import GoodputResult, TrialRunner, max_goodput
 from ..latency.parallel import ParallelismConfig
 from ..serving.phase_only import DecodeOnlySystem, PrefillOnlySystem
 from ..simulator.events import Simulation
@@ -19,10 +25,14 @@ from ..simulator.instance import InstanceSpec
 from ..workload.datasets import SyntheticDataset
 from ..workload.slos import SLO
 
-__all__ = ["simu_prefill", "simu_decode"]
+__all__ = ["simu_prefill", "simu_decode", "phase_trial_setup", "PHASE_TRIAL_MIN_DURATION"]
 
 #: A bound so loose it never binds — used to isolate one phase's SLO.
 _UNBOUNDED = 1e9
+
+#: Arrival span of each phase-level trial; longer than the joint default
+#: so steady-state queueing is visible even for a lone fast phase.
+PHASE_TRIAL_MIN_DURATION = 45.0
 
 
 def _prefill_factory(spec: InstanceSpec, sim: Simulation) -> PrefillOnlySystem:
@@ -33,6 +43,26 @@ def _decode_factory(spec: InstanceSpec, sim: Simulation) -> DecodeOnlySystem:
     return DecodeOnlySystem(sim, spec)
 
 
+def phase_trial_setup(kind: str, spec: InstanceSpec, slo: SLO):
+    """The (system factory, masked SLO) pair of one phase-level trial.
+
+    The factory is a picklable ``functools.partial`` over module-level
+    functions, so it can cross a process boundary and be fingerprinted
+    deterministically.
+
+    Args:
+        kind: ``"prefill"`` or ``"decode"``.
+        spec: The candidate instance.
+        slo: The full application SLO; the partner phase's bound is
+            replaced by an unbounded value.
+    """
+    if kind == "prefill":
+        return partial(_prefill_factory, spec), SLO(ttft=slo.ttft, tpot=_UNBOUNDED)
+    if kind == "decode":
+        return partial(_decode_factory, spec), SLO(ttft=_UNBOUNDED, tpot=slo.tpot)
+    raise ValueError(f"unknown phase kind {kind!r}; expected 'prefill' or 'decode'")
+
+
 def simu_prefill(
     spec: InstanceSpec,
     dataset: SyntheticDataset,
@@ -40,17 +70,21 @@ def simu_prefill(
     attainment_target: float = 0.9,
     num_requests: int = 300,
     seed: int = 0,
+    trial_runner: "TrialRunner | None" = None,
+    early_abort: bool = True,
 ) -> GoodputResult:
     """Max rate one prefill instance sustains under the TTFT SLO alone."""
-    phase_slo = SLO(ttft=slo.ttft, tpot=_UNBOUNDED)
+    factory, phase_slo = phase_trial_setup("prefill", spec, slo)
     return max_goodput(
-        partial(_prefill_factory, spec),
+        factory,
         dataset,
         phase_slo,
         attainment_target=attainment_target,
         num_requests=num_requests,
         seed=seed,
-        min_duration=45.0,
+        min_duration=PHASE_TRIAL_MIN_DURATION,
+        trial_runner=trial_runner,
+        early_abort=early_abort,
     )
 
 
@@ -61,17 +95,21 @@ def simu_decode(
     attainment_target: float = 0.9,
     num_requests: int = 300,
     seed: int = 0,
+    trial_runner: "TrialRunner | None" = None,
+    early_abort: bool = True,
 ) -> GoodputResult:
     """Max rate one decode instance sustains under the TPOT SLO alone."""
-    phase_slo = SLO(ttft=_UNBOUNDED, tpot=slo.tpot)
+    factory, phase_slo = phase_trial_setup("decode", spec, slo)
     return max_goodput(
-        partial(_decode_factory, spec),
+        factory,
         dataset,
         phase_slo,
         attainment_target=attainment_target,
         num_requests=num_requests,
         seed=seed,
-        min_duration=45.0,
+        min_duration=PHASE_TRIAL_MIN_DURATION,
+        trial_runner=trial_runner,
+        early_abort=early_abort,
     )
 
 

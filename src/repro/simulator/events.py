@@ -5,12 +5,18 @@ SLO via real-testbed profiling is time-prohibitive". This is that
 simulator's engine: a min-heap of timestamped callbacks and a virtual
 clock. Events scheduled at equal times fire in scheduling order (a
 monotonic tiebreaker keeps the heap stable and deterministic).
+
+Every placement-search trial funnels through :meth:`Simulation.run`,
+so the loop is deliberately lean: ``__slots__`` (no per-instance dict),
+a plain integer tiebreaker, and heap operations bound to locals inside
+the loop. :meth:`Simulation.stop` lets an observer (e.g. the goodput
+search's early-abort monitor) halt the run between events without
+unwinding the stack through user callbacks.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Callable
 
 __all__ = ["Simulation"]
@@ -26,11 +32,14 @@ class Simulation:
         sim.run()                        # drain all events
     """
 
+    __slots__ = ("_now", "_heap", "_counter", "_events_processed", "_stopped")
+
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: "list[tuple[float, int, Callable[[], None]]]" = []
-        self._counter = itertools.count()
+        self._counter = 0
         self._events_processed = 0
+        self._stopped = False
 
     @property
     def now(self) -> float:
@@ -42,6 +51,11 @@ class Simulation:
         """Number of events executed so far (instrumentation)."""
         return self._events_processed
 
+    @property
+    def stopped(self) -> bool:
+        """Whether :meth:`stop` was called (the loop will not resume)."""
+        return self._stopped
+
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to fire ``delay`` seconds from now.
 
@@ -50,13 +64,24 @@ class Simulation:
         """
         if delay < 0:
             raise ValueError(f"delay must be >= 0, got {delay}")
-        heapq.heappush(self._heap, (self._now + delay, next(self._counter), callback))
+        self._counter += 1
+        heapq.heappush(self._heap, (self._now + delay, self._counter, callback))
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` at absolute virtual time ``time``."""
         if time < self._now:
             raise ValueError(f"cannot schedule at {time} < now {self._now}")
-        heapq.heappush(self._heap, (time, next(self._counter), callback))
+        self._counter += 1
+        heapq.heappush(self._heap, (time, self._counter, callback))
+
+    def stop(self) -> None:
+        """Halt the run loop after the currently executing event.
+
+        Pending events stay queued but will not execute; subsequent
+        :meth:`run` calls return immediately. Simulations are single-use
+        in this codebase, so there is deliberately no way to un-stop.
+        """
+        self._stopped = True
 
     def run(self, until: "float | None" = None, max_events: "int | None" = None) -> None:
         """Execute events in time order.
@@ -66,13 +91,15 @@ class Simulation:
                 the clock is advanced to ``until``. ``None`` drains the queue.
             max_events: Safety valve against runaway simulations.
         """
+        heap = self._heap
+        heappop = heapq.heappop
         executed = 0
-        while self._heap:
-            time, _seq, callback = self._heap[0]
+        while heap and not self._stopped:
+            time = heap[0][0]
             if until is not None and time > until:
                 self._now = until
                 return
-            heapq.heappop(self._heap)
+            _, _seq, callback = heappop(heap)
             self._now = time
             callback()
             self._events_processed += 1

@@ -35,6 +35,17 @@ class LengthDistribution(abc.ABC):
     def mean(self) -> float:
         """Expected length (after clipping)."""
 
+    def min_length(self) -> "int | None":
+        """Smallest length this distribution can emit, if known.
+
+        ``None`` means "unknown" — subclasses that cannot bound their
+        support (e.g. user extensions) inherit this default, and callers
+        such as the placement search's SLO-infeasibility pruning must
+        then treat the distribution as unbounded below and skip the
+        prune rather than guess.
+        """
+        return None
+
 
 @dataclass(frozen=True)
 class FixedLength(LengthDistribution):
@@ -51,6 +62,9 @@ class FixedLength(LengthDistribution):
 
     def mean(self) -> float:
         return float(self.length)
+
+    def min_length(self) -> int:
+        return self.length
 
 
 @dataclass(frozen=True)
@@ -69,6 +83,9 @@ class UniformLength(LengthDistribution):
 
     def mean(self) -> float:
         return (self.low + self.high) / 2.0
+
+    def min_length(self) -> int:
+        return self.low
 
 
 @dataclass(frozen=True)
@@ -103,6 +120,9 @@ class LognormalLength(LengthDistribution):
             np.clip(self.median * np.exp(self.sigma**2 / 2.0), self.low, self.high)
         )
 
+    def min_length(self) -> int:
+        return self.low
+
 
 @dataclass(frozen=True)
 class MixtureLength(LengthDistribution):
@@ -135,6 +155,12 @@ class MixtureLength(LengthDistribution):
         probs = self._probs()
         return float(sum(p * c.mean() for p, c in zip(probs, self.components)))
 
+    def min_length(self) -> "int | None":
+        mins = [c.min_length() for c in self.components]
+        if any(m is None for m in mins):
+            return None
+        return min(mins)
+
 
 @dataclass(frozen=True)
 class EmpiricalLength(LengthDistribution):
@@ -159,3 +185,6 @@ class EmpiricalLength(LengthDistribution):
 
     def mean(self) -> float:
         return float(np.mean(self.observations))
+
+    def min_length(self) -> int:
+        return min(self.observations)

@@ -1,0 +1,408 @@
+"""Tests for the search-acceleration layer (:mod:`repro.core.search`).
+
+Covers the three pillars the layer must uphold:
+
+* **Determinism** — fingerprints are equal for equal inputs and stable
+  across processes and hash seeds.
+* **Parity** — serial and parallel searches return identical placements
+  and identical deterministic statistics; pruning and early abort never
+  change a goodput verdict.
+* **Soundness** — cache entries are only reused where provably valid,
+  SLO-infeasibility pruning only fires on provably-zero configurations,
+  and truncated trials are reported distinctly.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GLOBAL_TRIAL_CACHE,
+    PlacementSearchStats,
+    TrialCache,
+    fingerprint,
+    max_goodput,
+    place_high_affinity,
+    place_low_affinity,
+    run_attainment_trial,
+    simu_prefill,
+)
+from repro.core.search import (
+    TrialEntry,
+    phase_slo_infeasible,
+    resolve_trial_cache,
+    trial_context_fingerprint,
+)
+from repro.core.simulate import PHASE_TRIAL_MIN_DURATION, phase_trial_setup
+from repro.hardware import Cluster, Node
+from repro.latency import ParallelismConfig
+from repro.models import get_model
+from repro.simulator import InstanceSpec, Simulation
+from repro.workload import SLO, get_dataset
+from repro.workload.datasets import SyntheticDataset
+from repro.workload.distributions import (
+    EmpiricalLength,
+    FixedLength,
+    LognormalLength,
+    MixtureLength,
+    UniformLength,
+)
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture
+def tiny_cluster() -> Cluster:
+    return Cluster(nodes=[Node(index=0, num_gpus=2)])
+
+
+@pytest.fixture
+def fast_dataset() -> SyntheticDataset:
+    return SyntheticDataset(
+        name="fast",
+        input_dist=UniformLength(low=16, high=64),
+        output_dist=UniformLength(low=4, high=16),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fingerprints and hashability
+# ----------------------------------------------------------------------
+
+class TestFingerprint:
+    def test_equal_specs_equal_fingerprints(self, tiny_model):
+        a = InstanceSpec(model=tiny_model, config=ParallelismConfig(2, 1))
+        b = InstanceSpec(model=tiny_model, config=ParallelismConfig(2, 1))
+        assert a is not b
+        assert fingerprint(a) == fingerprint(b)
+        c = InstanceSpec(model=tiny_model, config=ParallelismConfig(1, 2))
+        assert fingerprint(a) != fingerprint(c)
+
+    def test_slo_and_dataset_fingerprints(self):
+        assert fingerprint(SLO(ttft=0.2, tpot=0.1)) == fingerprint(SLO(ttft=0.2, tpot=0.1))
+        assert fingerprint(SLO(ttft=0.2, tpot=0.1)) != fingerprint(SLO(ttft=0.2, tpot=0.2))
+        assert fingerprint(get_dataset("sharegpt")) == fingerprint(get_dataset("sharegpt"))
+        assert fingerprint(get_dataset("sharegpt")) != fingerprint(get_dataset("humaneval"))
+
+    def test_specs_are_hashable(self, tiny_model):
+        a = InstanceSpec(model=tiny_model, config=ParallelismConfig(2, 1))
+        b = InstanceSpec(model=tiny_model, config=ParallelismConfig(2, 1))
+        assert hash(a) == hash(b) and a == b
+        assert hash(SLO(ttft=0.2, tpot=0.1)) == hash(SLO(ttft=0.2, tpot=0.1))
+        assert hash(get_dataset("sharegpt")) == hash(get_dataset("sharegpt"))
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            fingerprint(object())
+        with pytest.raises(TypeError):
+            fingerprint(lambda: None)  # lambdas have no stable identity
+
+    def test_trial_context_covers_phase_setup(self, tiny_spec):
+        slo = SLO(ttft=0.25, tpot=0.1)
+        ds = get_dataset("sharegpt")
+        fps = set()
+        for kind in ("prefill", "decode"):
+            factory, trial_slo = phase_trial_setup(kind, tiny_spec, slo)
+            fps.add(
+                trial_context_fingerprint(
+                    factory, ds, trial_slo, 100, 0, PHASE_TRIAL_MIN_DURATION
+                )
+            )
+        assert len(fps) == 2  # prefill and decode contexts never collide
+
+    def test_cross_process_stability(self, tmp_path):
+        """The same objects fingerprint identically in fresh interpreters
+        regardless of PYTHONHASHSEED — the property the shared trial
+        cache depends on."""
+        code = (
+            "from repro.core.search import fingerprint\n"
+            "from repro.core.simulate import phase_trial_setup\n"
+            "from repro.workload.slos import SLO\n"
+            "from repro.workload import get_dataset\n"
+            "from repro.models import get_model\n"
+            "from repro.simulator.instance import InstanceSpec\n"
+            "from repro.latency.parallel import ParallelismConfig\n"
+            "spec = InstanceSpec(model=get_model('opt-13b'),"
+            " config=ParallelismConfig(2, 1))\n"
+            "factory, slo = phase_trial_setup('prefill', spec, SLO(ttft=0.25, tpot=0.1))\n"
+            "print(fingerprint((factory, get_dataset('sharegpt'), slo, 300, 0, 45.0)))\n"
+        )
+        digests = set()
+        for hash_seed in ("1", "31337"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = SRC_DIR
+            proc = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            digests.add(proc.stdout.strip())
+        assert len(digests) == 1
+
+
+# ----------------------------------------------------------------------
+# Length-distribution lower bounds (pruning support)
+# ----------------------------------------------------------------------
+
+class TestMinLength:
+    def test_known_bounds(self):
+        assert FixedLength(7).min_length() == 7
+        assert UniformLength(low=3, high=9).min_length() == 3
+        assert LognormalLength(median=100, sigma=0.5, low=4).min_length() == 4
+        assert EmpiricalLength(observations=(5, 2, 9)).min_length() == 2
+        mix = MixtureLength(
+            components=(FixedLength(8), UniformLength(low=3, high=5)),
+            weights=(0.5, 0.5),
+        )
+        assert mix.min_length() == 3
+
+    def test_unknown_bound_propagates(self):
+        class Opaque(FixedLength):
+            def min_length(self):
+                return None
+
+        mix = MixtureLength(
+            components=(Opaque(8), FixedLength(3)), weights=(0.5, 0.5)
+        )
+        assert mix.min_length() is None
+
+
+# ----------------------------------------------------------------------
+# Trial cache semantics
+# ----------------------------------------------------------------------
+
+class TestTrialCache:
+    def test_exact_entry_serves_everything(self):
+        entry = TrialEntry(attainment=0.8, exact=True, abort_target=None, truncated=False)
+        assert entry.usable_for(None)
+        assert entry.usable_for(0.5)
+        assert entry.usable_for(0.99)
+
+    def test_inexact_entry_gated_by_target(self):
+        # Aborted at target 0.9: attainment is an upper bound < 0.9.
+        entry = TrialEntry(attainment=0.6, exact=False, abort_target=0.9, truncated=False)
+        assert entry.usable_for(0.9)    # same verdict: below 0.9
+        assert entry.usable_for(0.95)   # below 0.9 => below 0.95 too
+        assert not entry.usable_for(0.5)   # bound says nothing about 0.5
+        assert not entry.usable_for(None)  # exact value required
+
+    def test_merge_prefers_exact(self):
+        cache = TrialCache()
+        inexact = TrialEntry(attainment=0.6, exact=False, abort_target=0.9, truncated=False)
+        exact = TrialEntry(attainment=0.7, exact=True, abort_target=None, truncated=False)
+        cache.merge("ctx", {1.0: inexact})
+        cache.merge("ctx", {1.0: exact})
+        assert cache.snapshot("ctx")[1.0] is exact
+        cache.merge("ctx", {1.0: inexact})  # exact never downgraded
+        assert cache.snapshot("ctx")[1.0] is exact
+        assert cache.num_contexts == 1 and cache.num_entries == 1
+
+    def test_snapshot_is_a_copy(self):
+        cache = TrialCache()
+        entry = TrialEntry(attainment=0.7, exact=True, abort_target=None, truncated=False)
+        cache.merge("ctx", {1.0: entry})
+        snap = cache.snapshot("ctx")
+        snap[2.0] = entry
+        assert 2.0 not in cache.snapshot("ctx")
+
+    def test_resolve(self):
+        assert resolve_trial_cache(None) is GLOBAL_TRIAL_CACHE
+        assert resolve_trial_cache(False) is not GLOBAL_TRIAL_CACHE
+        mine = TrialCache()
+        assert resolve_trial_cache(mine) is mine
+
+
+# ----------------------------------------------------------------------
+# Simulation.stop and trial truncation
+# ----------------------------------------------------------------------
+
+class TestStopAndTruncation:
+    def test_stop_halts_between_events(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: (fired.append(2), sim.stop()))
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.run()
+        assert fired == [1, 2]
+        assert sim.stopped
+        assert len(sim) == 1  # event at t=3 still queued, never run
+        sim.run()  # stopped simulations stay stopped
+        assert fired == [1, 2]
+
+    def test_truncation_warns_and_flags(self, tiny_spec, fast_dataset):
+        factory, trial_slo = phase_trial_setup(
+            "prefill", tiny_spec, SLO(ttft=0.5, tpot=0.5)
+        )
+        with pytest.warns(RuntimeWarning, match="event ceiling"):
+            outcome = run_attainment_trial(
+                factory, fast_dataset, 4.0, trial_slo,
+                num_requests=50, seed=0, max_events=20,
+            )
+        assert outcome.truncated and not outcome.aborted
+
+    def test_max_goodput_counts_truncated_trials(self, fast_dataset):
+        def stub_runner(rate, abort_target):
+            from repro.core.goodput import TrialOutcome
+
+            return TrialOutcome(attainment=0.5, truncated=True)
+
+        result = max_goodput(
+            lambda sim: None, fast_dataset, SLO(ttft=0.1, tpot=0.1),
+            attainment_target=0.9, trial_runner=stub_runner,
+        )
+        assert result.goodput == 0.0
+        assert result.trials == 1 and result.truncated_trials == 1
+
+
+# ----------------------------------------------------------------------
+# Early abort / pruning never change a verdict
+# ----------------------------------------------------------------------
+
+class TestVerdictPreservation:
+    def test_early_abort_preserves_goodput(self, tiny_model, fast_dataset):
+        """Property check on randomized small configurations: the goodput
+        search returns bit-identical results with early abort on and off
+        (aborts may only happen on probes whose value is discarded)."""
+        rng = np.random.default_rng(42)
+        datasets = [fast_dataset, get_dataset("humaneval")]
+        for _ in range(6):
+            tp = int(rng.choice([1, 2]))
+            pp = int(rng.choice([1, 2]))
+            kind = str(rng.choice(["prefill", "decode"]))
+            slo = SLO(
+                ttft=float(rng.uniform(0.02, 0.4)),
+                tpot=float(rng.uniform(0.01, 0.1)),
+            )
+            dataset = datasets[int(rng.integers(len(datasets)))]
+            target = float(rng.choice([0.5, 0.9]))
+            spec = InstanceSpec(model=tiny_model, config=ParallelismConfig(tp, pp))
+            factory, trial_slo = phase_trial_setup(kind, spec, slo)
+            results = [
+                max_goodput(
+                    factory, dataset, trial_slo,
+                    attainment_target=target, num_requests=40, seed=1,
+                    min_duration=10.0, early_abort=flag,
+                )
+                for flag in (True, False)
+            ]
+            assert results[0].goodput == results[1].goodput
+            assert results[0].attainment_at_goodput == results[1].attainment_at_goodput
+            assert results[0].trials == results[1].trials
+
+    def test_prune_preserves_placement(self, tiny_model, tiny_cluster, fast_dataset):
+        slo = SLO(ttft=0.3, tpot=0.1)
+        placements = [
+            place_high_affinity(
+                tiny_model, tiny_cluster, fast_dataset, slo,
+                num_requests=30, trial_cache=False, prune=flag,
+            )
+            for flag in (True, False)
+        ]
+        assert placements[0] == placements[1]
+
+    def test_infeasible_prune_is_sound(self, tiny_model, fast_dataset):
+        spec = InstanceSpec(model=tiny_model, config=ParallelismConfig(1, 1))
+        hopeless = SLO(ttft=1e-9, tpot=1.0)
+        assert phase_slo_infeasible("prefill", spec, fast_dataset, hopeless)
+        # The prune's claim: the full search would return exactly zero.
+        result = simu_prefill(
+            spec, fast_dataset, hopeless, num_requests=30, early_abort=False
+        )
+        assert result.goodput == 0.0
+        # A clearly attainable SLO must never be pruned.
+        assert not phase_slo_infeasible(
+            "prefill", spec, fast_dataset, SLO(ttft=10.0, tpot=1.0)
+        )
+
+    def test_jittered_specs_never_pruned(self, tiny_model, fast_dataset):
+        spec = InstanceSpec(
+            model=tiny_model, config=ParallelismConfig(1, 1), jitter_sigma=0.2
+        )
+        assert not phase_slo_infeasible(
+            "prefill", spec, fast_dataset, SLO(ttft=1e-9, tpot=1.0)
+        )
+
+
+# ----------------------------------------------------------------------
+# Serial <-> parallel parity
+# ----------------------------------------------------------------------
+
+class TestSerialParallelParity:
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_high_affinity(self, tiny_model, tiny_cluster, fast_dataset, seed):
+        slo = SLO(ttft=0.3, tpot=0.1)
+        outcomes = {}
+        for workers in (1, 2):
+            stats = PlacementSearchStats()
+            placement = place_high_affinity(
+                tiny_model, tiny_cluster, fast_dataset, slo,
+                num_requests=30, seed=seed, stats=stats,
+                workers=workers, trial_cache=TrialCache(),
+            )
+            outcomes[workers] = (placement, stats.comparable())
+        assert outcomes[1][0] == outcomes[2][0]
+        assert outcomes[1][1] == outcomes[2][1]
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_low_affinity(self, tiny_model, tiny_cluster, fast_dataset, seed):
+        slo = SLO(ttft=0.3, tpot=0.1)
+        outcomes = {}
+        for workers in (1, 2):
+            stats = PlacementSearchStats()
+            placement = place_low_affinity(
+                tiny_model, tiny_cluster, fast_dataset, slo,
+                num_requests=30, seed=seed, joint_sim_candidates=2,
+                stats=stats, workers=workers, trial_cache=TrialCache(),
+            )
+            outcomes[workers] = (placement, stats.comparable())
+        assert outcomes[1][0] == outcomes[2][0]
+        assert outcomes[1][1] == outcomes[2][1]
+
+    def test_warm_cache_replays_identically(self, tiny_model, tiny_cluster, fast_dataset):
+        slo = SLO(ttft=0.3, tpot=0.1)
+        cache = TrialCache()
+        first_stats = PlacementSearchStats()
+        first = place_high_affinity(
+            tiny_model, tiny_cluster, fast_dataset, slo,
+            num_requests=30, stats=first_stats, trial_cache=cache,
+        )
+        warm_stats = PlacementSearchStats()
+        warm = place_high_affinity(
+            tiny_model, tiny_cluster, fast_dataset, slo,
+            num_requests=30, stats=warm_stats, trial_cache=cache,
+        )
+        assert first == warm
+        assert warm_stats.cache_misses == 0
+        assert warm_stats.cache_hits == first_stats.simulation_trials
+        # Probe counting is cache-independent: a replayed search reports
+        # the same trial count as a simulated one.
+        assert warm_stats.simulation_trials == first_stats.simulation_trials
+
+
+# ----------------------------------------------------------------------
+# Stats plumbing
+# ----------------------------------------------------------------------
+
+class TestStats:
+    def test_hit_rate(self):
+        stats = PlacementSearchStats(cache_hits=3, cache_misses=1)
+        assert stats.cache_hit_rate == 0.75
+        assert PlacementSearchStats().cache_hit_rate == 0.0
+
+    def test_wall_time_and_workers_recorded(self, tiny_model, tiny_cluster, fast_dataset):
+        stats = PlacementSearchStats()
+        place_high_affinity(
+            tiny_model, tiny_cluster, fast_dataset, SLO(ttft=0.3, tpot=0.1),
+            num_requests=30, stats=stats, trial_cache=False, workers=1,
+        )
+        assert stats.wall_time_s > 0.0
+        assert stats.workers == 1
+        assert stats.simulation_trials > 0
+        assert stats.cache_misses == stats.simulation_trials
