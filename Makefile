@@ -1,4 +1,4 @@
-.PHONY: install test trace-demo metrics-demo golden-regen bench bench-search examples clean
+.PHONY: install test lint sanitize-demo trace-demo metrics-demo golden-regen bench bench-search examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -7,6 +7,18 @@ install:
 # an editable install.
 test:
 	PYTHONPATH=src python -m pytest -x -q
+
+# Determinism & simulation-invariant static analysis; exits non-zero on
+# any finding. The tree is self-hosting: `src` and `tests` lint clean.
+lint:
+	PYTHONPATH=src python -m repro.cli lint src tests examples benchmarks
+
+# Golden scenario under full runtime invariant checking: virtual-time
+# monotonicity, request conservation, KV-leak and transfer double-free
+# detection. Must report "SimSanitizer: 0 violations".
+sanitize-demo:
+	PYTHONPATH=src python -m repro.cli trace --model opt-13b --rate 2.0 \
+		--requests 100 --sanitize --out /tmp/trace_sanitized.json
 
 trace-demo:
 	PYTHONPATH=src python -m repro.cli trace --model opt-13b --rate 2.0 \

@@ -18,6 +18,7 @@ the end-to-end latency exactly.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..simulator.request import RequestRecord
@@ -78,11 +79,11 @@ class LatencyBreakdown:
 def latency_breakdown(records: "list[RequestRecord]") -> LatencyBreakdown:
     """Sum each stage's time over all requests (the Figure 10a statistic)."""
     return LatencyBreakdown(
-        prefill_queue=sum(r.prefill_queue_time for r in records),
-        prefill_exec=sum(r.prefill_exec_time for r in records),
-        transfer=sum(r.transfer_time for r in records),
-        decode_queue=sum(r.decode_queue_time for r in records),
-        decode_exec=sum(r.decode_exec_time for r in records),
+        prefill_queue=math.fsum(r.prefill_queue_time for r in records),
+        prefill_exec=math.fsum(r.prefill_exec_time for r in records),
+        transfer=math.fsum(r.transfer_time for r in records),
+        decode_queue=math.fsum(r.decode_queue_time for r in records),
+        decode_exec=math.fsum(r.decode_exec_time for r in records),
     )
 
 
@@ -147,7 +148,7 @@ def request_breakdowns(spans: "list[Span]") -> "list[RequestSpanBreakdown]":
         if arrival is None or completion is None:
             continue
         e2e = completion - arrival
-        covered = sum(sums.values())
+        covered = math.fsum(sums.values())
         out.append(
             RequestSpanBreakdown(
                 request_id=request_id,
@@ -168,9 +169,9 @@ def latency_breakdown_from_spans(spans: "list[Span]") -> LatencyBreakdown:
     """Figure 10a's statistic computed from the real span timeline."""
     breakdowns = request_breakdowns(spans)
     return LatencyBreakdown(
-        prefill_queue=sum(b.prefill_queue for b in breakdowns),
-        prefill_exec=sum(b.prefill_exec for b in breakdowns),
-        transfer=sum(b.transfer for b in breakdowns),
-        decode_queue=sum(b.decode_queue for b in breakdowns),
-        decode_exec=sum(b.decode_exec for b in breakdowns),
+        prefill_queue=math.fsum(b.prefill_queue for b in breakdowns),
+        prefill_exec=math.fsum(b.prefill_exec for b in breakdowns),
+        transfer=math.fsum(b.transfer for b in breakdowns),
+        decode_queue=math.fsum(b.decode_queue for b in breakdowns),
+        decode_exec=math.fsum(b.decode_exec for b in breakdowns),
     )

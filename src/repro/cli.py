@@ -10,6 +10,9 @@ Mirrors the operational surface of the original system's tooling::
         --out /tmp/trace.json
     python -m repro.cli metrics --model opt-13b --rate 3.0 --requests 300 \
         --prom-out /tmp/metrics.prom
+    python -m repro.cli lint src tests --format json
+    python -m repro.cli trace --sanitize --model opt-13b --rate 2.0 \
+        --requests 100 --out /tmp/trace.json
 """
 
 from __future__ import annotations
@@ -43,6 +46,7 @@ from .serving import ColocatedSystem, DisaggregatedSystem, simulate_trace
 from .simulator import (
     InstanceSpec,
     MetricsRegistry,
+    SimSanitizer,
     Simulation,
     SloMonitor,
     TelemetryRecorder,
@@ -126,9 +130,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_sim(args: argparse.Namespace) -> "tuple[Simulation, SimSanitizer | None]":
+    """A fresh simulation, sanitized when ``--sanitize`` was passed.
+
+    Lenient (collecting) mode: the run completes and every violation is
+    reported at the end, turning the exit code nonzero.
+    """
+    if getattr(args, "sanitize", False):
+        sanitizer = SimSanitizer(strict=False)
+        return sanitizer.simulation(), sanitizer
+    return Simulation(), None
+
+
+def _finish_sanitize(sanitizer: "SimSanitizer | None") -> int:
+    """Quiesce checks + report; returns the exit status contribution."""
+    if sanitizer is None:
+        return 0
+    sanitizer.check_quiesce()
+    print(sanitizer.report())
+    return 0 if sanitizer.ok else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     model = get_model(args.model)
-    sim = Simulation()
+    sim, sanitizer = _make_sim(args)
     tracer = Tracer()
     if args.mode == "disaggregated":
         prefill_spec = InstanceSpec(
@@ -148,6 +173,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         )
         system = ColocatedSystem(sim, spec, num_replicas=args.num_prefill,
                                  tracer=tracer)
+    if sanitizer is not None:
+        sanitizer.watch_system(system)
     trace = generate_trace(
         get_dataset(args.dataset), rate=args.rate, num_requests=args.requests,
         rng=np.random.default_rng(args.seed),
@@ -175,13 +202,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     summary = latency_summary(result.records)
     print(f"e2e mean/p99: {summary['e2e_mean']:.3f} / {summary['e2e_p99']:.3f} s; "
           f"max |span-sum - e2e| = {worst:.2e} s")
-    return 0
+    return _finish_sanitize(sanitizer)
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
     """Run a seeded workload with full instrumentation and report it."""
     model = get_model(args.model)
-    sim = Simulation()
+    sim, sanitizer = _make_sim(args)
     if args.mode == "disaggregated":
         prefill_spec = InstanceSpec(
             model=model, config=ParallelismConfig(args.prefill_tp, args.prefill_pp)
@@ -198,6 +225,8 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             model=model, config=ParallelismConfig(args.prefill_tp, args.prefill_pp)
         )
         system = ColocatedSystem(sim, spec, num_replicas=args.num_prefill)
+    if sanitizer is not None:
+        sanitizer.watch_system(system)
     slo = SLO(ttft=args.ttft, tpot=args.tpot)
     registry = MetricsRegistry()
     monitor = SloMonitor(sim, slo, window=args.window, registry=registry)
@@ -252,7 +281,37 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     if args.json_out:
         write_metrics_json(args.json_out, registry)
         print(f"JSON metrics snapshot written to {args.json_out}")
-    return 0
+    return _finish_sanitize(sanitizer)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run reprolint over the given paths; exit 1 on findings."""
+    from .lint import LintEngine, findings_to_json, format_findings, rule_names
+
+    select = None
+    if args.select:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+    try:
+        engine = LintEngine(select=select)
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.list_rules:
+        from .lint import all_rules
+
+        for name, cls in sorted(all_rules().items()):
+            print(f"{name}  {cls.summary}")
+        return 0
+    if not args.paths:
+        print("repro lint: no paths given (try: src tests)", file=sys.stderr)
+        return 2
+    findings, checked = engine.lint_paths(args.paths)
+    if args.format == "json":
+        sys.stdout.write(findings_to_json(findings, checked))
+    else:
+        print(format_findings(findings))
+        print(f"({checked} file(s) checked, rules: {', '.join(rule_names())})")
+    return 1 if findings else 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -332,6 +391,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="Chrome trace_event output path")
     trace_p.add_argument("--jsonl-out", default="",
                          help="optional JSON-lines span dump path")
+    trace_p.add_argument("--sanitize", action="store_true",
+                         help="run under SimSanitizer (monotonic time, "
+                              "request conservation, KV-leak and transfer "
+                              "double-free checks); exit 1 on violations")
 
     metrics = sub.add_parser(
         "metrics",
@@ -363,6 +426,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="Prometheus text-format export path")
     metrics.add_argument("--json-out", default="",
                          help="JSON metrics snapshot path")
+    metrics.add_argument("--sanitize", action="store_true",
+                         help="run under SimSanitizer; exit 1 on violations")
+
+    lint = sub.add_parser(
+        "lint",
+        help="reprolint: determinism & simulation-invariant static analysis",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint (e.g. src tests)")
+    lint.add_argument("--format", choices=("human", "json"), default="human")
+    lint.add_argument("--select", default="",
+                      help="comma-separated rule subset (e.g. DET001,SIM001)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the registered rules and exit")
 
     analyze = sub.add_parser("analyze", help="latency-model analysis of a model")
     analyze.add_argument("--model", default="opt-13b")
@@ -381,6 +458,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
         "analyze": _cmd_analyze,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

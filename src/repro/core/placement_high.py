@@ -105,6 +105,10 @@ def place_high_affinity(
     cache = resolve_trial_cache(trial_cache)
     st = stats if stats is not None else PlacementSearchStats()
     st.workers = max(1, int(workers or 1))
+    # Wall-clock here measures *search* cost for PlacementSearchStats
+    # reporting; it never feeds simulation state, placements, or
+    # cache fingerprints.
+    # reprolint: disable=DET001 -- search-cost stat, not sim state
     t0 = time.perf_counter()
     try:
         entries: "list[tuple[ParallelismConfig, InstanceSpec]]" = []
@@ -234,4 +238,5 @@ def place_high_affinity(
             kv_transfer_intra_node=False,
         )
     finally:
+        # reprolint: disable=DET001 -- search-cost stat only (see above).
         st.wall_time_s += time.perf_counter() - t0

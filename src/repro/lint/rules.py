@@ -1,0 +1,637 @@
+"""The reprolint rule pack: this codebase's determinism invariants.
+
+Each rule encodes one way the simulator's guarantees — golden traces
+(PR 1), byte-deterministic metrics exports (PR 2), and the trial-cache
+fingerprints / serial-parallel search parity (PR 3) — have historically
+broken in systems like this one:
+
+==========  ==========================================================
+DET001      wall-clock reads inside ``repro.simulator``/``repro.core``
+DET002      module-level or unseeded ``random``/``numpy.random``
+DET003      set/dict-view iteration feeding ordering-sensitive sinks
+DET004      bare ``sum()`` float accumulation in latency/goodput paths
+SIM001      ``Simulation.schedule(_at)`` calls not provably non-past
+SIM002      re-entrant scheduler mutation from callbacks
+PAR001      unpicklable objects handed to the parallel evaluator
+==========  ==========================================================
+
+Scoping is deliberate: rules only fire where the invariant actually
+matters (DET001 does not ban ``time`` in benchmarks; DET004 only covers
+the hot paths whose floats reach reports), so a finding is a bug or a
+decision — never noise to be ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Tuple
+
+from .engine import (
+    ModuleContext,
+    Rule,
+    call_name,
+    call_tail,
+    dotted_name,
+    receiver_tail,
+    register,
+)
+
+__all__ = [
+    "WallClockRule",
+    "UnseededRngRule",
+    "UnorderedIterationRule",
+    "FloatSumRule",
+    "NonPastScheduleRule",
+    "ReentrantMutationRule",
+    "PicklableTaskRule",
+]
+
+_Yield = Iterator[Tuple[ast.AST, str]]
+
+
+# ----------------------------------------------------------------------
+# DET001 — virtual time only
+# ----------------------------------------------------------------------
+
+#: Wall-clock sources that must never influence simulation state. The
+#: simulator's clock is :attr:`repro.simulator.events.Simulation.now`;
+#: anything else makes traces, metrics and cache fingerprints
+#: run-dependent.
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register
+class WallClockRule(Rule):
+    name = "DET001"
+    summary = "no wall-clock reads inside repro.simulator / repro.core"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.module.startswith(("repro.simulator", "repro.core"))
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> _Yield:
+        name = call_name(node)
+        if name in _WALL_CLOCK:
+            yield node, (
+                f"wall-clock read `{name}()` in {ctx.module}; simulation "
+                "code must use virtual time (Simulation.now) only"
+            )
+
+    def visit_Attribute(self, node: ast.Attribute, ctx: ModuleContext) -> _Yield:
+        # A bare reference (e.g. `key=time.time` passed as a callback)
+        # is just as dangerous as a call. Skip chains already reported
+        # via visit_Call and inner links of longer attribute chains.
+        parent = ctx.parent()
+        if isinstance(parent, ast.Attribute):
+            return
+        if isinstance(parent, ast.Call) and parent.func is node:
+            return
+        name = dotted_name(node)
+        if name in _WALL_CLOCK:
+            yield node, (
+                f"wall-clock reference `{name}` in {ctx.module}; simulation "
+                "code must use virtual time (Simulation.now) only"
+            )
+
+
+# ----------------------------------------------------------------------
+# DET002 — seeded, explicitly threaded randomness
+# ----------------------------------------------------------------------
+
+#: numpy.random attributes that are *constructors* of explicit, seedable
+#: generator state — everything else on the module is the shared legacy
+#: global RNG.
+_NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox"}
+
+
+@register
+class UnseededRngRule(Rule):
+    name = "DET002"
+    summary = "no module-level or unseeded random / numpy.random"
+
+    def visit_Import(self, node: ast.Import, ctx: ModuleContext) -> _Yield:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                yield node, (
+                    "stdlib `random` is process-global state; thread a "
+                    "seeded numpy Generator through instead"
+                )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom, ctx: ModuleContext) -> _Yield:
+        if node.module == "random":
+            yield node, (
+                "stdlib `random` is process-global state; thread a "
+                "seeded numpy Generator through instead"
+            )
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> _Yield:
+        name = call_name(node)
+        if name is None:
+            return
+        parts = name.split(".")
+        # random.random(), random.seed(), random.shuffle(), ...
+        if parts[0] == "random" and len(parts) > 1:
+            yield node, (
+                f"`{name}()` uses the process-global stdlib RNG; thread a "
+                "seeded numpy Generator through instead"
+            )
+            return
+        # np.random.rand() / numpy.random.seed() / ... — the legacy
+        # global-state API; only explicit Generator construction is OK.
+        if len(parts) >= 3 and parts[-3] in ("np", "numpy") and parts[-2] == "random":
+            if parts[-1] not in _NP_RANDOM_OK:
+                yield node, (
+                    f"`{name}()` mutates/reads numpy's global RNG; construct "
+                    "a Generator via np.random.default_rng(seed) and pass it"
+                )
+                return
+        if parts[-1] == "default_rng":
+            if not node.args and not node.keywords:
+                yield node, (
+                    "`default_rng()` without a seed draws OS entropy — "
+                    "every run differs; pass an explicit seed"
+                )
+            elif not ctx.in_function():
+                yield node, (
+                    "module-level RNG is shared mutable state; construct "
+                    "generators inside the function/workload that uses them"
+                )
+
+
+# ----------------------------------------------------------------------
+# DET003 — deterministic iteration into ordering-sensitive sinks
+# ----------------------------------------------------------------------
+
+#: Call tails whose argument/effect order changes observable results:
+#: heap layout, event scheduling order, and fingerprint/hash digests.
+_ORDER_SINKS = {
+    "heappush",
+    "heapify",
+    "heappushpop",
+    "schedule",
+    "schedule_at",
+    "submit",
+    "fingerprint",
+    "update",  # hashlib's digest.update — order-sensitive by definition
+    "write",
+}
+
+_SET_CONSTRUCTORS = {"set", "frozenset"}
+_SET_METHODS = {
+    "union", "intersection", "difference", "symmetric_difference",
+}
+_VIEW_METHODS = {"values", "keys", "items"}
+
+
+def _unordered_source(node: ast.expr) -> "str | None":
+    """Describe why iterating ``node`` has no guaranteed stable order."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.Call):
+        tail = call_tail(node)
+        if tail in _SET_CONSTRUCTORS and isinstance(node.func, ast.Name):
+            return f"`{tail}()`"
+        if tail in _SET_METHODS:
+            return f"a set (`.{tail}()`)"
+        if tail in _VIEW_METHODS and isinstance(node.func, ast.Attribute):
+            return f"a dict view (`.{tail}()`)"
+    return None
+
+
+def _order_sink_in(body: "list[ast.stmt]") -> "ast.Call | None":
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Call) and call_tail(sub) in _ORDER_SINKS:
+                return sub
+    return None
+
+
+@register
+class UnorderedIterationRule(Rule):
+    name = "DET003"
+    summary = "no set/dict-view iteration feeding ordering-sensitive sinks"
+
+    def visit_For(self, node: ast.For, ctx: ModuleContext) -> _Yield:
+        source = _unordered_source(node.iter)
+        if source is None:
+            return
+        sink = _order_sink_in(node.body)
+        if sink is not None:
+            yield node, (
+                f"iterating {source} feeds ordering-sensitive sink "
+                f"`{call_tail(sink)}` (line {sink.lineno}); iterate a "
+                "sorted() or insertion-ordered sequence instead"
+            )
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> _Yield:
+        # Generator/comprehension piped straight into a sink:
+        #   h.update(render(x) for x in some_set)
+        #   heap.extend(sorted(...)) is fine — sorted() restores order.
+        if call_tail(node) not in _ORDER_SINKS:
+            return
+        for arg in node.args:
+            if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+                for comp in arg.generators:
+                    source = _unordered_source(comp.iter)
+                    if source is not None:
+                        yield arg, (
+                            f"comprehension over {source} feeds "
+                            f"ordering-sensitive sink `{call_tail(node)}`; "
+                            "sort the iterable first"
+                        )
+
+
+# ----------------------------------------------------------------------
+# DET004 — order-robust float accumulation in hot reporting paths
+# ----------------------------------------------------------------------
+
+#: Modules whose float sums surface in reports/fingerprints, where
+#: `sum()`'s left-to-right rounding makes results depend on record
+#: order; `math.fsum` is exactly rounded and order-independent.
+_HOT_PATH_PREFIXES = ("repro.latency",)
+_HOT_PATH_MODULES = {
+    "repro.analysis.breakdown",
+    "repro.analysis.percentiles",
+    "repro.core.goodput",
+}
+
+#: Identifier fragments that mark a summand as (seconds-valued) float.
+_FLOAT_HINT = re.compile(
+    r"(time|latency|queue|exec|transfer|goodput|seconds|frac|util|stall)",
+    re.IGNORECASE,
+)
+
+
+def _float_hinted(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and _FLOAT_HINT.search(sub.attr):
+            return True
+        if isinstance(sub, ast.Name) and _FLOAT_HINT.search(sub.id):
+            return True
+    return False
+
+
+@register
+class FloatSumRule(Rule):
+    name = "DET004"
+    summary = "float accumulation in hot paths must use math.fsum"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return (
+            ctx.module in _HOT_PATH_MODULES
+            or ctx.module.startswith(_HOT_PATH_PREFIXES)
+        )
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> _Yield:
+        if not (isinstance(node.func, ast.Name) and node.func.id == "sum"):
+            return
+        if not node.args:
+            return
+        arg = node.args[0]
+        if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+            elt = arg.elt
+            # Integer counting (`sum(1 for ...)`, `sum(len(x) ...)`) is exact.
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, int):
+                return
+            if isinstance(elt, ast.Call) and call_tail(elt) == "len":
+                return
+            if _float_hinted(elt):
+                yield node, (
+                    "bare sum() of float series accumulates rounding error "
+                    "in record order; use math.fsum (exactly rounded, "
+                    "order-independent)"
+                )
+        elif isinstance(arg, ast.Call) and call_tail(arg) in _VIEW_METHODS:
+            yield node, (
+                "bare sum() over a dict view of floats; use math.fsum so "
+                "the reported total is independent of accumulation order"
+            )
+        elif isinstance(arg, (ast.Name, ast.Attribute)) and _float_hinted(arg):
+            yield node, (
+                "bare sum() of a float sequence in a hot reporting path; "
+                "use math.fsum"
+            )
+
+
+# ----------------------------------------------------------------------
+# SIM001 — provably non-past event scheduling
+# ----------------------------------------------------------------------
+
+_SIM_RECEIVERS = {"sim", "_sim", "simulation", "_simulation"}
+
+#: Function-call tails we accept as structurally non-negative.
+_NONNEG_CALLS = {"len", "abs"}
+
+
+def _assignments_before(
+    func: "ast.FunctionDef | ast.AsyncFunctionDef", lineno: int
+) -> "dict[str, ast.expr]":
+    """name -> last assigned expression strictly before ``lineno``."""
+    table: "dict[str, ast.expr]" = {}
+    for stmt in ast.walk(func):
+        if isinstance(stmt, ast.Assign) and stmt.lineno < lineno:
+            if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name):
+                table[stmt.targets[0].id] = stmt.value
+    return table
+
+
+def _asserted_exprs(
+    func: "ast.FunctionDef | ast.AsyncFunctionDef", lineno: int
+) -> "Tuple[set[str], set[str]]":
+    """(dumps asserted >= 0, dumps asserted >= <sim>.now) before lineno."""
+    nonneg: "set[str]" = set()
+    nonpast: "set[str]" = set()
+
+    def _record(test: ast.expr) -> None:
+        if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+            for value in test.values:
+                _record(value)
+            return
+        if not (isinstance(test, ast.Compare) and len(test.ops) == 1):
+            return
+        op = test.ops[0]
+        left, right = test.left, test.comparators[0]
+        if isinstance(op, (ast.GtE, ast.Gt)):
+            subject, bound = left, right
+        elif isinstance(op, (ast.LtE, ast.Lt)):
+            subject, bound = right, left
+        else:
+            return
+        if isinstance(bound, ast.Constant) and isinstance(bound.value, (int, float)):
+            if bound.value >= 0:
+                nonneg.add(ast.dump(subject))
+        else:
+            bound_name = dotted_name(bound)
+            if bound_name is not None and bound_name.endswith(".now"):
+                nonpast.add(ast.dump(subject))
+
+    for stmt in ast.walk(func):
+        if isinstance(stmt, ast.Assert) and stmt.lineno < lineno:
+            _record(stmt.test)
+    return nonneg, nonpast
+
+
+class _Prover:
+    """Tiny structural prover for delay >= 0 / time >= now claims."""
+
+    def __init__(
+        self,
+        assignments: "dict[str, ast.expr]",
+        nonneg: "set[str]",
+        nonpast: "set[str]",
+    ) -> None:
+        self._assignments = assignments
+        self._nonneg = nonneg
+        self._nonpast = nonpast
+
+    def _resolve(self, node: ast.expr, depth: int) -> "ast.expr":
+        while depth > 0 and isinstance(node, ast.Name):
+            replacement = self._assignments.get(node.id)
+            if replacement is None:
+                return node
+            node = replacement
+            depth -= 1
+        return node
+
+    def nonneg(self, node: ast.expr, depth: int = 4) -> bool:
+        if ast.dump(node) in self._nonneg:
+            return True
+        node = self._resolve(node, 1)
+        if depth <= 0:
+            return False
+        if ast.dump(node) in self._nonneg:
+            return True
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, (int, float)) and node.value >= 0
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.UAdd):
+            return self.nonneg(node.operand, depth - 1)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Mult)):
+            return self.nonneg(node.left, depth - 1) and self.nonneg(node.right, depth - 1)
+        if isinstance(node, ast.Call):
+            tail = call_tail(node)
+            if tail in _NONNEG_CALLS:
+                return True
+            if tail == "max" and any(self.nonneg(a, depth - 1) for a in node.args):
+                return True
+            if tail == "min" and node.args and all(
+                self.nonneg(a, depth - 1) for a in node.args
+            ):
+                return True
+        if isinstance(node, ast.IfExp):
+            return self.nonneg(node.body, depth - 1) and self.nonneg(
+                node.orelse, depth - 1
+            )
+        return False
+
+    def nonpast(self, node: ast.expr, depth: int = 4) -> bool:
+        if ast.dump(node) in self._nonpast:
+            return True
+        node = self._resolve(node, 1)
+        if depth <= 0:
+            return False
+        if ast.dump(node) in self._nonpast:
+            return True
+        name = dotted_name(node)
+        if name is not None and name.endswith(".now"):
+            return True
+        if isinstance(node, ast.Call) and call_tail(node) == "max":
+            # max(now, anything) >= now regardless of the other args.
+            if any(self.nonpast(a, depth - 1) for a in node.args):
+                return True
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            for past_side, other in ((node.left, node.right), (node.right, node.left)):
+                if self.nonpast(past_side, depth - 1) and self.nonneg(other, depth - 1):
+                    return True
+        if isinstance(node, ast.IfExp):
+            return self.nonpast(node.body, depth - 1) and self.nonpast(
+                node.orelse, depth - 1
+            )
+        return False
+
+
+@register
+class NonPastScheduleRule(Rule):
+    name = "SIM001"
+    summary = "Simulation.schedule calls must be provably non-past"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.module.startswith("repro.")
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> _Yield:
+        tail = call_tail(node)
+        if tail not in ("schedule", "schedule_at"):
+            return
+        if receiver_tail(node) not in _SIM_RECEIVERS:
+            return
+        if not node.args:
+            return
+        arg = node.args[0]
+        func = ctx.enclosing_function()
+        if func is not None:
+            assignments = _assignments_before(func, node.lineno)
+            nonneg, nonpast = _asserted_exprs(func, node.lineno)
+        else:
+            assignments, nonneg, nonpast = {}, set(), set()
+        prover = _Prover(assignments, nonneg, nonpast)
+        if tail == "schedule":
+            if not prover.nonneg(arg):
+                yield node, (
+                    "delay is not provably >= 0 (constant-fold failed and no "
+                    "dominating `assert delay >= 0`); events must never be "
+                    "scheduled in the virtual past"
+                )
+        else:
+            if not prover.nonpast(arg):
+                yield node, (
+                    "absolute time is not provably >= Simulation.now (no "
+                    "max(now, ...) structure or dominating `assert t >= "
+                    "sim.now`); events must never be scheduled in the past"
+                )
+
+
+# ----------------------------------------------------------------------
+# SIM002 — no re-entrant scheduler mutation from read callbacks
+# ----------------------------------------------------------------------
+
+#: Attribute-call tails that mutate shared simulator or container state.
+#: A metrics/telemetry read callback invoking any of these re-enters the
+#: scheduler (or shifts state mid-event) and breaks replay determinism.
+_MUTATORS = {
+    "schedule", "schedule_at", "run", "stop",
+    "append", "appendleft", "extend", "insert", "add", "discard",
+    "remove", "pop", "popleft", "clear", "setdefault",
+    "heappush", "heappop", "heapify",
+    "allocate", "free", "observe", "inc", "record", "set_value",
+}
+
+#: Registration calls whose callable argument must be a pure read.
+_CALLBACK_SINKS = {"counter", "gauge", "histogram", "register"}
+
+
+def _impure_call_in(body: ast.AST) -> "ast.Call | None":
+    for sub in ast.walk(body):
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+            if sub.func.attr in _MUTATORS:
+                return sub
+    return None
+
+
+@register
+class ReentrantMutationRule(Rule):
+    name = "SIM002"
+    summary = "metric callbacks and handlers must not mutate scheduler state"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.module.startswith("repro.")
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> _Yield:
+        tail = call_tail(node)
+        if tail not in _CALLBACK_SINKS:
+            return
+        callbacks: "list[ast.expr]" = [
+            kw.value for kw in node.keywords if kw.arg == "fn"
+        ]
+        if tail == "register" and len(node.args) >= 2:
+            callbacks.append(node.args[1])
+        for callback in callbacks:
+            if not isinstance(callback, ast.Lambda):
+                continue
+            for sub in ast.walk(callback.body):
+                if isinstance(sub, ast.NamedExpr):
+                    yield callback, (
+                        "metric callback assigns state (walrus); read "
+                        "callbacks must be pure"
+                    )
+                    break
+            impure = _impure_call_in(callback.body)
+            if impure is not None:
+                yield callback, (
+                    f"metric callback calls mutator `{call_tail(impure)}` "
+                    f"(line {impure.lineno}); sampling must not mutate "
+                    "simulator or container state re-entrantly"
+                )
+
+    def visit_Lambda(self, node: ast.Lambda, ctx: ModuleContext) -> _Yield:
+        yield from self._check_reentrant_run(node.body, node, ctx)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx: ModuleContext) -> _Yield:
+        if ctx.in_function():  # only nested defs are event callbacks
+            for stmt in node.body:
+                yield from self._check_reentrant_run(stmt, node, ctx)
+
+    def _check_reentrant_run(
+        self, body: ast.AST, owner: ast.AST, ctx: ModuleContext
+    ) -> _Yield:
+        for sub in ast.walk(body):
+            if (
+                isinstance(sub, ast.Call)
+                and call_tail(sub) == "run"
+                and receiver_tail(sub) in _SIM_RECEIVERS
+            ):
+                yield sub, (
+                    "callback re-enters Simulation.run; the event loop is "
+                    "not re-entrant — schedule follow-up events instead"
+                )
+
+
+# ----------------------------------------------------------------------
+# PAR001 — picklable-by-construction parallel tasks
+# ----------------------------------------------------------------------
+
+#: Constructors/entry points whose arguments cross the process-pool
+#: boundary and therefore must pickle (module-level callables, frozen
+#: dataclasses — never lambdas or closures).
+_PICKLE_BOUNDARIES = {"GoodputTask", "make_phase_task", "make_joint_task"}
+_EVALUATOR_RECEIVERS = {"evaluator", "_evaluator", "pool", "_pool"}
+
+
+@register
+class PicklableTaskRule(Rule):
+    name = "PAR001"
+    summary = "parallel-evaluator tasks must be picklable by construction"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.module.startswith("repro.core")
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> _Yield:
+        tail = call_tail(node)
+        crosses = tail in _PICKLE_BOUNDARIES or (
+            tail in ("run", "map", "submit")
+            and receiver_tail(node) in _EVALUATOR_RECEIVERS
+        )
+        if not crosses:
+            return
+        values = list(node.args) + [kw.value for kw in node.keywords]
+        # Descend one level into literal containers: `evaluator.run([task])`
+        # ships every element across the boundary too.
+        for value in list(values):
+            if isinstance(value, (ast.List, ast.Tuple)):
+                values.extend(value.elts)
+        for value in values:
+            if isinstance(value, ast.Lambda):
+                yield value, (
+                    f"lambda passed across the process-pool boundary via "
+                    f"`{tail}`; lambdas do not pickle — use a module-level "
+                    "function or functools.partial over one"
+                )
+            elif isinstance(value, ast.Name) and value.id in ctx.nested_def_names:
+                yield value, (
+                    f"`{value.id}` is defined inside a function; nested "
+                    f"functions do not pickle across `{tail}` — hoist it "
+                    "to module level"
+                )

@@ -152,6 +152,7 @@ class APIFrontend:
             output_len=output_len,
         )
         self._pending[request_id] = (request, time)
+        assert time >= self._sim.now  # arrivals cannot be backdated
         self._sim.schedule_at(time, lambda: self._system.submit(internal))
         return request_id
 

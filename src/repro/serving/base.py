@@ -150,6 +150,7 @@ def simulate_trace(
     """
     sim = system.sim
     for request in trace:
+        assert request.arrival_time >= sim.now  # traces arrive in the future
         sim.schedule_at(request.arrival_time, _make_arrival(system, request))
     sim.run(until=max_sim_time, max_events=max_events)
     transfers = getattr(system, "transfer_records", [])

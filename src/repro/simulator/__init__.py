@@ -19,6 +19,12 @@ from .metrics import (
 )
 from .prefill_instance import PrefillInstance
 from .request import RequestPhase, RequestRecord, RequestState
+from .sanitizer import (
+    SanitizedSimulation,
+    SanitizerError,
+    SimSanitizer,
+    Violation,
+)
 from .telemetry import GaugeSeries, GaugeSummary, TelemetryRecorder
 from .tracing import (
     NULL_TRACER,
@@ -48,6 +54,10 @@ __all__ = [
     "RequestPhase",
     "RequestRecord",
     "RequestState",
+    "SanitizedSimulation",
+    "SanitizerError",
+    "SimSanitizer",
+    "Violation",
     "AttainmentSnapshot",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",

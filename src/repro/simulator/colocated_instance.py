@@ -219,6 +219,7 @@ class ColocatedInstance:
                 pp_link=self.spec.pp_link,
             )
             duration = times.request_latency * self._jitter()
+            assert duration >= 0.0  # latency model + jitter are nonnegative
             self.prefill_iterations += 1
             self.busy_time += duration
             self.tokens_prefilled += sum(lens)
@@ -248,6 +249,7 @@ class ColocatedInstance:
                 pp_link=self.spec.pp_link,
             )
             duration = times.request_latency * self._jitter()
+            assert duration >= 0.0  # latency model + jitter are nonnegative
             self.decode_iterations += 1
             self.busy_time += duration
             batch_snapshot = list(self._running)
@@ -271,6 +273,7 @@ class ColocatedInstance:
                 pp_link=self.spec.pp_link,
             )
             duration = times.request_latency * self._jitter()
+            assert duration >= 0.0  # latency model + jitter are nonnegative
             self.decode_iterations += 1
             self.busy_time += duration
             batch_snapshot = list(self._running)
@@ -291,6 +294,7 @@ class ColocatedInstance:
                 pp_link=self.spec.pp_link,
             )
             duration = times.request_latency * self._jitter()
+            assert duration >= 0.0  # latency model + jitter are nonnegative
             self.prefill_iterations += 1
             self.busy_time += duration
             self.tokens_prefilled += sum(lens)
@@ -447,6 +451,7 @@ class ColocatedInstance:
             contexts,
             tp=self.spec.config.tp,
         ) * self._jitter()
+        assert duration >= 0.0  # latency model + jitter are nonnegative
         self.mixed_iterations += 1
         self.busy_time += duration
         self.tokens_prefilled += spent

@@ -212,6 +212,7 @@ class DecodeInstance:
             pp_link=self.spec.pp_link,
         )
         duration = times.request_latency * self._jitter()
+        assert duration >= 0.0  # latency model + jitter are nonnegative
         self.steps_executed += 1
         self.busy_time += duration
         batch = list(self._active)

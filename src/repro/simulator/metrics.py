@@ -29,7 +29,7 @@ from __future__ import annotations
 import re
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Iterable
+from typing import Any, Callable, Deque, Iterable
 
 from .events import Simulation
 from .request import RequestRecord
@@ -220,7 +220,14 @@ class MetricsRegistry:
         )
 
     # ------------------------------------------------------------------
-    def _register(self, name, kind, help, labels, make):
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labels: "dict[str, str] | None",
+        make: "Callable[[], Counter | Gauge | Histogram]",
+    ) -> "Any":
         if not _NAME_RE.match(name):
             raise ValueError(f"invalid metric name {name!r}")
         labels = labels or {}
@@ -255,7 +262,9 @@ class MetricsRegistry:
         """All families, sorted by name (the export order)."""
         return [self._families[n] for n in sorted(self._families)]
 
-    def get(self, name: str, labels: "dict[str, str] | None" = None):
+    def get(
+        self, name: str, labels: "dict[str, str] | None" = None
+    ) -> "Counter | Gauge | Histogram":
         """Look up an existing metric; raises ``KeyError`` if absent."""
         family = self._families[name]
         labels = labels or {}

@@ -281,6 +281,7 @@ class PrefillInstance:
                 batch_size=len(batch),
             )
             self._in_flight_states[state.request_id] = state
+        assert times.request_latency >= 0.0  # latency model is nonnegative
         finish = start + times.request_latency
 
         def _complete() -> None:

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
+from typing import Any
 
 __all__ = [
     "Span",
@@ -234,16 +235,16 @@ class NullTracer(Tracer):
 
     enabled = False
 
-    def begin(self, *args, **kwargs) -> None:  # noqa: D102
+    def begin(self, *args: Any, **kwargs: Any) -> None:  # noqa: D102
         pass
 
-    def end(self, *args, **kwargs) -> None:  # noqa: D102
+    def end(self, *args: Any, **kwargs: Any) -> None:  # noqa: D102
         pass
 
-    def span(self, *args, **kwargs) -> None:  # noqa: D102
+    def span(self, *args: Any, **kwargs: Any) -> None:  # noqa: D102
         pass
 
-    def instant(self, *args, **kwargs) -> None:  # noqa: D102
+    def instant(self, *args: Any, **kwargs: Any) -> None:  # noqa: D102
         pass
 
 

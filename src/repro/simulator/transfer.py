@@ -113,6 +113,7 @@ class TransferEngine:
         state = self._links.setdefault(id(link), _LinkState())
         start = max(self._sim.now, state.busy_until)
         duration = link.time_for(num_bytes / num_parallel_channels)
+        assert duration >= 0.0  # link model is nonnegative
         end = start + duration
         state.busy_until = end
         self.total_bytes += num_bytes

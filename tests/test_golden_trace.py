@@ -46,14 +46,21 @@ MODEL = ModelArchitecture(
 )
 
 
-def build_golden_spans():
-    """Run the pinned scenario and return its span timeline."""
-    sim = Simulation()
+def build_golden_spans(sanitizer=None):
+    """Run the pinned scenario and return its span timeline.
+
+    Pass a :class:`repro.simulator.SimSanitizer` to run the scenario
+    under full runtime invariant checking (tests/test_sanitizer.py uses
+    this to prove sanitized runs are byte-identical).
+    """
+    sim = Simulation() if sanitizer is None else sanitizer.simulation()
     tracer = Tracer()
     spec = InstanceSpec(model=MODEL)
     system = DisaggregatedSystem(
         sim, spec, spec, num_prefill=2, num_decode=2, tracer=tracer
     )
+    if sanitizer is not None:
+        sanitizer.watch_system(system)
     trace = generate_trace(
         get_dataset(DATASET),
         rate=RATE,

@@ -1,0 +1,530 @@
+"""reprolint tests: per-rule fixtures (positive / negative / suppression)
+plus engine mechanics (selection, JSON output, module scoping) and the
+self-hosting guarantee that the shipped tree lints clean.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    LintEngine,
+    findings_to_json,
+    format_findings,
+    lint_paths,
+    lint_source,
+    rule_names,
+)
+from repro.lint.engine import module_name_for
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+SIM_MODULE = "repro.simulator.fixture"
+CORE_MODULE = "repro.core.fixture"
+
+
+def run(source: str, module: str = SIM_MODULE, select=None):
+    return lint_source(textwrap.dedent(source), path="fixture.py",
+                       module=module, select=select)
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+# ----------------------------------------------------------------------
+# DET001 — wall-clock
+# ----------------------------------------------------------------------
+
+class TestDET001:
+    def test_positive_call(self):
+        findings = run("""
+            import time
+            def f():
+                return time.time()
+        """)
+        assert rules_of(findings) == ["DET001"]
+
+    def test_positive_datetime_and_monotonic(self):
+        findings = run("""
+            import time, datetime
+            def f():
+                a = time.monotonic()
+                b = datetime.datetime.now()
+                return a, b
+        """)
+        assert len([f for f in findings if f.rule == "DET001"]) == 2
+
+    def test_positive_bare_reference(self):
+        # Passing the clock itself as a callback is just as dangerous.
+        findings = run("""
+            import time
+            def f(items):
+                return sorted(items, key=time.perf_counter)
+        """)
+        assert rules_of(findings) == ["DET001"]
+
+    def test_negative_out_of_scope_module(self):
+        findings = run("""
+            import time
+            def f():
+                return time.time()
+        """, module="benchmarks.bench_fixture")
+        assert findings == []
+
+    def test_negative_virtual_time(self):
+        findings = run("""
+            def f(sim):
+                return sim.now
+        """)
+        assert findings == []
+
+    def test_suppression(self):
+        findings = run("""
+            import time
+            def f():
+                return time.perf_counter()  # reprolint: disable=DET001 -- stats
+        """)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# DET002 — seeded randomness
+# ----------------------------------------------------------------------
+
+class TestDET002:
+    def test_positive_stdlib_import(self):
+        findings = run("import random\n", module="examples.fixture")
+        assert rules_of(findings) == ["DET002"]
+
+    def test_positive_global_numpy_rng(self):
+        findings = run("""
+            import numpy as np
+            def f():
+                np.random.seed(0)
+                return np.random.rand(3)
+        """, module="examples.fixture")
+        assert len([f for f in findings if f.rule == "DET002"]) == 2
+
+    def test_positive_unseeded_default_rng(self):
+        findings = run("""
+            import numpy as np
+            def f():
+                return np.random.default_rng()
+        """)
+        assert rules_of(findings) == ["DET002"]
+        assert "seed" in findings[0].message
+
+    def test_positive_module_level_rng(self):
+        findings = run("""
+            import numpy as np
+            RNG = np.random.default_rng(0)
+        """)
+        assert rules_of(findings) == ["DET002"]
+        assert "module-level" in findings[0].message
+
+    def test_negative_seeded_in_function(self):
+        findings = run("""
+            import numpy as np
+            def f(seed):
+                rng = np.random.default_rng(seed)
+                return rng.random(4)
+        """)
+        assert findings == []
+
+    def test_suppression(self):
+        findings = run("""
+            import numpy as np
+            def f():
+                return np.random.default_rng()  # reprolint: disable=DET002 -- demo
+        """)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# DET003 — ordering-sensitive sinks
+# ----------------------------------------------------------------------
+
+class TestDET003:
+    def test_positive_set_into_heappush(self):
+        findings = run("""
+            import heapq
+            def f(items, heap):
+                for x in set(items):
+                    heapq.heappush(heap, x)
+        """, module="repro.queueing.fixture")
+        assert rules_of(findings) == ["DET003"]
+
+    def test_positive_dict_view_into_schedule(self):
+        findings = run("""
+            def f(sim, callbacks):
+                for cb in callbacks.values():
+                    sim.schedule(0.0, cb)
+        """)
+        assert "DET003" in rules_of(findings)
+
+    def test_positive_comprehension_into_hash_update(self):
+        findings = run("""
+            def f(h):
+                h.update(str(x).encode() for x in {1, 2, 3})
+        """, module="repro.core.fixture")
+        assert "DET003" in rules_of(findings)
+
+    def test_negative_sorted_iteration(self):
+        findings = run("""
+            import heapq
+            def f(items, heap):
+                for x in sorted(set(items)):
+                    heapq.heappush(heap, x)
+        """, module="repro.queueing.fixture")
+        assert findings == []
+
+    def test_negative_set_without_sink(self):
+        findings = run("""
+            def f(items):
+                total = 0
+                for x in set(items):
+                    total += x
+                return total
+        """)
+        assert findings == []
+
+    def test_suppression(self):
+        findings = run("""
+            import heapq
+            def f(items, heap):
+                # reprolint: disable=DET003 -- items proven pre-sorted upstream
+                for x in set(items):
+                    heapq.heappush(heap, x)
+        """, module="repro.queueing.fixture")
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# DET004 — fsum in hot paths
+# ----------------------------------------------------------------------
+
+class TestDET004:
+    def test_positive_float_genexp(self):
+        findings = run("""
+            def f(records):
+                return sum(r.exec_time for r in records)
+        """, module="repro.latency.fixture")
+        assert rules_of(findings) == ["DET004"]
+
+    def test_positive_dict_view(self):
+        findings = run("""
+            def f(sums):
+                return sum(sums.values())
+        """, module="repro.analysis.breakdown")
+        assert rules_of(findings) == ["DET004"]
+
+    def test_negative_integer_counting(self):
+        findings = run("""
+            def f(records, input_lens):
+                n = sum(1 for r in records)
+                tok = sum(input_lens)
+                return n + tok
+        """, module="repro.latency.fixture")
+        assert findings == []
+
+    def test_negative_fsum(self):
+        findings = run("""
+            import math
+            def f(records):
+                return math.fsum(r.exec_time for r in records)
+        """, module="repro.latency.fixture")
+        assert findings == []
+
+    def test_negative_out_of_scope_module(self):
+        findings = run("""
+            def f(records):
+                return sum(r.exec_time for r in records)
+        """, module="repro.serving.fixture")
+        assert findings == []
+
+    def test_suppression(self):
+        findings = run("""
+            def f(records):
+                return sum(r.exec_time for r in records)  # reprolint: disable=DET004 -- bounded n
+        """, module="repro.latency.fixture")
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# SIM001 — provably non-past scheduling
+# ----------------------------------------------------------------------
+
+class TestSIM001:
+    def test_positive_unproven_delay(self):
+        findings = run("""
+            def f(sim, d, cb):
+                sim.schedule(d, cb)
+        """)
+        assert rules_of(findings) == ["SIM001"]
+
+    def test_negative_constant_and_max(self):
+        findings = run("""
+            def f(sim, t, cb):
+                sim.schedule(1.5, cb)
+                sim.schedule(max(0.0, t - sim.now), cb)
+        """)
+        assert findings == []
+
+    def test_negative_asserted_delay(self):
+        findings = run("""
+            def f(sim, d, cb):
+                assert d >= 0
+                sim.schedule(d, cb)
+        """)
+        assert findings == []
+
+    def test_negative_assignment_propagation(self):
+        findings = run("""
+            def f(sim, t, cb):
+                delay = max(0.0, t - sim.now)
+                sim.schedule(delay, cb)
+        """)
+        assert findings == []
+
+    def test_positive_schedule_at_unproven(self):
+        findings = run("""
+            def f(sim, t, cb):
+                sim.schedule_at(t, cb)
+        """)
+        assert rules_of(findings) == ["SIM001"]
+
+    def test_negative_schedule_at_max_now(self):
+        findings = run("""
+            def f(sim, t, cb):
+                sim.schedule_at(max(sim.now, t), cb)
+        """)
+        assert findings == []
+
+    def test_negative_schedule_at_asserted(self):
+        findings = run("""
+            def f(sim, t, cb):
+                assert t >= sim.now
+                sim.schedule_at(t, cb)
+        """)
+        assert findings == []
+
+    def test_negative_now_plus_nonneg(self):
+        findings = run("""
+            def f(sim, cb):
+                start = sim.now
+                duration = max(0.0, compute())
+                sim.schedule_at(start + duration, cb)
+        """)
+        assert findings == []
+
+    def test_negative_non_sim_receiver(self):
+        findings = run("""
+            def f(cron, d):
+                cron.schedule(d, "job")
+        """)
+        assert findings == []
+
+    def test_suppression(self):
+        findings = run("""
+            def f(sim, d, cb):
+                # reprolint: disable=SIM001 -- d validated by caller
+                sim.schedule(d, cb)
+        """)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# SIM002 — re-entrant mutation
+# ----------------------------------------------------------------------
+
+class TestSIM002:
+    def test_positive_mutating_metric_callback(self):
+        findings = run("""
+            def f(registry, q):
+                registry.counter("x", "desc", fn=lambda: q.pop())
+        """)
+        assert rules_of(findings) == ["SIM002"]
+
+    def test_positive_mutating_recorder_callback(self):
+        findings = run("""
+            def f(recorder, sim, cb):
+                recorder.register("gauge", lambda: sim.schedule(0.0, cb))
+        """)
+        assert "SIM002" in rules_of(findings)
+
+    def test_positive_reentrant_run(self):
+        findings = run("""
+            def f(sim):
+                def cb():
+                    sim.run()
+                sim.schedule(1.0, cb)
+        """)
+        assert rules_of(findings) == ["SIM002"]
+
+    def test_negative_pure_callbacks(self):
+        findings = run("""
+            def f(registry, recorder, system, w):
+                registry.counter("x", "desc", fn=lambda: len(w))
+                registry.gauge("y", "desc", fn=lambda: system.unfinished)
+                recorder.register("z", lambda: sum(w.values()) / max(1, len(w)))
+        """)
+        assert findings == []
+
+    def test_suppression(self):
+        findings = run("""
+            def f(registry, q):
+                # reprolint: disable=SIM002 -- drain is idempotent here
+                registry.counter("x", "desc", fn=lambda: q.pop())
+        """)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# PAR001 — picklable tasks
+# ----------------------------------------------------------------------
+
+class TestPAR001:
+    def test_positive_lambda_task_arg(self):
+        findings = run("""
+            def f(spec):
+                return make_phase_task(spec, fn=lambda rate: rate * 2)
+        """, module=CORE_MODULE)
+        assert rules_of(findings) == ["PAR001"]
+
+    def test_positive_nested_def_into_evaluator(self):
+        findings = run("""
+            def f(evaluator):
+                def task():
+                    return 1
+                return evaluator.run([task])
+        """, module=CORE_MODULE)
+        assert rules_of(findings) == ["PAR001"]
+
+    def test_negative_module_level_callable(self):
+        findings = run("""
+            def _task():
+                return 1
+
+            def f(evaluator):
+                return evaluator.run([_task])
+        """, module=CORE_MODULE)
+        assert findings == []
+
+    def test_negative_out_of_scope_module(self):
+        findings = run("""
+            def f(evaluator):
+                return evaluator.run([lambda: 1])
+        """, module="repro.serving.fixture")
+        assert findings == []
+
+    def test_suppression(self):
+        findings = run("""
+            def f(evaluator):
+                # reprolint: disable=PAR001 -- serial-only evaluator in tests
+                return evaluator.run([lambda: 1])
+        """, module=CORE_MODULE)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Engine mechanics
+# ----------------------------------------------------------------------
+
+class TestEngine:
+    def test_select_filters_rules(self):
+        source = """
+            import time, random
+            def f():
+                return time.time()
+        """
+        only_det002 = run(source, select=["DET002"])
+        assert rules_of(only_det002) == ["DET002"]
+        only_det001 = run(source, select=["DET001"])
+        assert rules_of(only_det001) == ["DET001"]
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            LintEngine(select=["NOPE42"])
+
+    def test_syntax_error_reported_not_raised(self):
+        findings = lint_source("def f(:\n", path="bad.py")
+        assert findings and findings[0].rule == "E999"
+
+    def test_file_level_suppression(self):
+        findings = run("""
+            # reprolint: disable-file=DET001
+            import time
+            def f():
+                return time.time()
+        """)
+        assert findings == []
+
+    def test_findings_sorted_and_deterministic(self):
+        source = """
+            import time
+            def f():
+                return time.time(), time.monotonic()
+        """
+        first = run(source)
+        second = run(source)
+        assert first == second == sorted(first)
+
+    def test_json_output_shape(self):
+        findings = run("""
+            import time
+            def f():
+                return time.time()
+        """)
+        payload = json.loads(findings_to_json(findings, files_checked=1))
+        assert payload["tool"] == "reprolint"
+        assert payload["files_checked"] == 1
+        assert payload["counts"] == {"DET001": 1}
+        entry = payload["findings"][0]
+        assert set(entry) == {"rule", "message", "path", "line", "col"}
+
+    def test_human_output(self):
+        findings = run("""
+            import time
+            def f():
+                return time.time()
+        """)
+        text = format_findings(findings)
+        assert "DET001" in text and "fixture.py" in text
+        assert format_findings([]) == "reprolint: clean"
+
+    def test_module_name_mapping(self):
+        assert module_name_for(
+            pathlib.Path("src/repro/simulator/events.py")
+        ) == "repro.simulator.events"
+        assert module_name_for(
+            pathlib.Path("src/repro/lint/__init__.py")
+        ) == "repro.lint"
+        assert module_name_for(
+            pathlib.Path("tests/test_lint.py")
+        ) == "tests.test_lint"
+
+    def test_rule_registry_complete(self):
+        assert rule_names() == [
+            "DET001", "DET002", "DET003", "DET004",
+            "PAR001", "SIM001", "SIM002",
+        ]
+
+
+# ----------------------------------------------------------------------
+# Self-hosting: the shipped tree is clean
+# ----------------------------------------------------------------------
+
+class TestSelfHosting:
+    def test_src_lints_clean(self):
+        findings, checked = lint_paths([str(REPO_ROOT / "src")])
+        assert checked > 50
+        assert findings == [], format_findings(findings)
+
+    def test_tests_lint_clean(self):
+        findings, _checked = lint_paths([str(REPO_ROOT / "tests")])
+        assert findings == [], format_findings(findings)
