@@ -1,4 +1,4 @@
-.PHONY: install test lint sanitize-demo trace-demo metrics-demo golden-regen bench bench-search examples clean
+.PHONY: install test lint sanitize-demo trace-demo metrics-demo profile-demo golden-regen bench bench-search bench-profile examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -28,8 +28,16 @@ metrics-demo:
 	PYTHONPATH=src python -m repro.cli metrics --model opt-13b --rate 3.0 \
 		--requests 300 --prom-out /tmp/metrics.prom --json-out /tmp/metrics.json
 
+# Critical-path profile with goodput attribution (DESIGN §4g); writes
+# the canonical JSON and a self-contained HTML report to /tmp.
+profile-demo:
+	PYTHONPATH=src python -m repro.cli profile --model opt-13b --rate 4.0 \
+		--requests 100 --ttft 4.0 --tpot 0.2 \
+		--json-out /tmp/profile.json --html-out /tmp/profile.html
+
 golden-regen:
 	PYTHONPATH=src python -m tests.test_golden_trace --regen
+	PYTHONPATH=src python -m tests.test_critpath --regen
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -38,6 +46,11 @@ bench:
 # placement search; writes BENCH_search.json at the repo root.
 bench-search:
 	PYTHONPATH=src python benchmarks/bench_fig12_algorithm_time.py
+
+# Profiler hook-overhead benchmark: bare vs traced vs traced+profiled;
+# enforces the <5% per-event budget and writes BENCH_profile.json.
+bench-profile:
+	PYTHONPATH=src python benchmarks/bench_profile_overhead.py
 
 examples:
 	python examples/quickstart.py

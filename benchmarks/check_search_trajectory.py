@@ -1,0 +1,97 @@
+"""Perf-trajectory guard: the search-acceleration speedup must not rot.
+
+``BENCH_search.json`` at the repo root is the committed performance
+baseline of the §4e search-acceleration layer (cache + pruning + early
+abort + workers vs the naive search). CI regenerates a fresh report on
+every run; this checker compares the fresh ``speedup_vs_baseline``
+against the committed one, per worker count, and fails when any
+speedup regressed by more than ``--tolerance`` (default 20%).
+
+The comparison is deliberately a *ratio of ratios*: absolute seconds
+differ across runners and across quick/full workload sizes, but the
+accelerated-vs-naive speedup is measured within one run on one machine,
+so it transfers. A >20% drop means the acceleration layer itself lost
+ground — a cache that stopped hitting, pruning that stopped firing —
+not that the runner was slow.
+
+Usage (what CI runs)::
+
+    python benchmarks/check_search_trajectory.py \
+        --baseline BENCH_search.json --fresh BENCH_search_ci.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_search.json"
+
+
+def _speedups(report: dict) -> "dict[int, float]":
+    out = {}
+    for run in report.get("runs", []):
+        speedup = run.get("speedup_vs_baseline")
+        if speedup is not None:
+            out[int(run["workers"])] = float(speedup)
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        help="committed BENCH_search.json")
+    parser.add_argument("--fresh", required=True,
+                        help="report produced by this CI run")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="max tolerated fractional speedup regression")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = json.loads(Path(args.baseline).read_text())
+        fresh = json.loads(Path(args.fresh).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_search_trajectory: cannot read report: {exc}",
+              file=sys.stderr)
+        return 2
+
+    if not fresh.get("placement_parity", False):
+        print("FAIL: fresh run broke placement parity — the accelerated "
+              "search returned different placements than the naive one",
+              file=sys.stderr)
+        return 1
+
+    base_speedups = _speedups(baseline)
+    fresh_speedups = _speedups(fresh)
+    common = sorted(set(base_speedups) & set(fresh_speedups))
+    if not common:
+        print("check_search_trajectory: no common worker counts between "
+              f"baseline {sorted(base_speedups)} and fresh "
+              f"{sorted(fresh_speedups)}", file=sys.stderr)
+        return 2
+
+    failed = False
+    for workers in common:
+        committed = base_speedups[workers]
+        measured = fresh_speedups[workers]
+        floor = committed * (1.0 - args.tolerance)
+        ok = measured >= floor
+        failed = failed or not ok
+        print(f"workers={workers}: committed {committed:.2f}x, "
+              f"measured {measured:.2f}x, floor {floor:.2f}x "
+              f"[{'ok' if ok else 'REGRESSED'}]")
+    if failed:
+        print(f"FAIL: search speedup regressed by more than "
+              f"{args.tolerance:.0%} vs the committed baseline "
+              f"({args.baseline}). If the slowdown is an accepted "
+              "trade-off, regenerate the baseline with `make bench-search` "
+              "and commit it alongside the change.", file=sys.stderr)
+        return 1
+    print("search-acceleration trajectory ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,18 @@ from .breakdown import (
     latency_breakdown_from_spans,
     request_breakdowns,
 )
+from .critpath import (
+    PHASES,
+    TTFT_PHASES,
+    RequestCriticalPath,
+    build_profile,
+    critical_paths,
+    diff_profiles,
+    format_profile,
+    format_profile_diff,
+    profile_to_html,
+    profile_to_json,
+)
 from .fidelity import FidelityReport, compare_runs
 from .metrics_export import (
     phase_utilization,
@@ -27,6 +39,16 @@ __all__ = [
     "latency_breakdown",
     "latency_breakdown_from_spans",
     "request_breakdowns",
+    "PHASES",
+    "TTFT_PHASES",
+    "RequestCriticalPath",
+    "build_profile",
+    "critical_paths",
+    "diff_profiles",
+    "format_profile",
+    "format_profile_diff",
+    "profile_to_html",
+    "profile_to_json",
     "FidelityReport",
     "compare_runs",
     "phase_utilization",

@@ -13,20 +13,39 @@ Mirrors the operational surface of the original system's tooling::
     python -m repro.cli lint src tests --format json
     python -m repro.cli trace --sanitize --model opt-13b --rate 2.0 \
         --requests 100 --out /tmp/trace.json
+    python -m repro.cli profile --model opt-13b --rate 2.0 --requests 100 \
+        --json-out /tmp/profile.json --html-out /tmp/profile.html
+    python -m repro.cli profile --diff /tmp/colocated.json /tmp/disagg.json
+
+Exit codes (shared by every subcommand):
+
+* 0 — success.
+* 1 — the run surfaced findings: sanitizer violations under
+  ``--sanitize`` (even in lenient mode, where the run completes first),
+  lint findings, or a failed check.
+* 2 — usage errors (bad flags, unknown rules, missing paths).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 
 import numpy as np
 
 from .analysis import (
+    build_profile,
+    diff_profiles,
+    format_profile,
+    format_profile_diff,
     format_series,
     latency_breakdown_from_spans,
     latency_summary,
     phase_utilization,
+    profile_to_html,
+    profile_to_json,
     request_breakdowns,
     slo_attainment,
     write_metrics_json,
@@ -46,6 +65,7 @@ from .serving import ColocatedSystem, DisaggregatedSystem, simulate_trace
 from .simulator import (
     InstanceSpec,
     MetricsRegistry,
+    Profiler,
     SimSanitizer,
     Simulation,
     SloMonitor,
@@ -56,7 +76,15 @@ from .simulator import (
 )
 from .workload import SLO, generate_trace, get_dataset, get_workload
 
-__all__ = ["main"]
+__all__ = ["main", "EXIT_OK", "EXIT_FINDINGS", "EXIT_USAGE"]
+
+#: Exit-code semantics, documented in ``--help`` (see module docstring).
+EXIT_OK = 0
+#: Findings were collected: sanitizer violations (lenient ``--sanitize``
+#: runs complete, then still exit nonzero), lint findings, failed checks.
+EXIT_FINDINGS = 1
+#: Usage errors (argparse also uses 2 for unparseable flags).
+EXIT_USAGE = 2
 
 
 def _cmd_models(_args: argparse.Namespace) -> int:
@@ -143,18 +171,27 @@ def _make_sim(args: argparse.Namespace) -> "tuple[Simulation, SimSanitizer | Non
 
 
 def _finish_sanitize(sanitizer: "SimSanitizer | None") -> int:
-    """Quiesce checks + report; returns the exit status contribution."""
+    """Quiesce checks + report; returns the exit status contribution.
+
+    Lenient (collecting) sanitizer runs complete before reporting, but
+    any collected violation still turns the exit code to
+    :data:`EXIT_FINDINGS` — a "passing" run means a *clean* run.
+    """
     if sanitizer is None:
-        return 0
+        return EXIT_OK
     sanitizer.check_quiesce()
     print(sanitizer.report())
-    return 0 if sanitizer.ok else 1
+    return EXIT_OK if sanitizer.ok else EXIT_FINDINGS
 
 
-def _cmd_trace(args: argparse.Namespace) -> int:
+def _build_system(
+    args: argparse.Namespace,
+    sim: Simulation,
+    tracer: "Tracer | None" = None,
+    profiler: "Profiler | None" = None,
+):
+    """Construct the serving system described by the shared run flags."""
     model = get_model(args.model)
-    sim, sanitizer = _make_sim(args)
-    tracer = Tracer()
     if args.mode == "disaggregated":
         prefill_spec = InstanceSpec(
             model=model, config=ParallelismConfig(args.prefill_tp, args.prefill_pp)
@@ -162,17 +199,24 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         decode_spec = InstanceSpec(
             model=model, config=ParallelismConfig(args.decode_tp, args.decode_pp)
         )
-        system = DisaggregatedSystem(
+        return DisaggregatedSystem(
             sim, prefill_spec, decode_spec,
             num_prefill=args.num_prefill, num_decode=args.num_decode,
-            tracer=tracer,
+            tracer=tracer, profiler=profiler,
         )
-    else:
-        spec = InstanceSpec(
-            model=model, config=ParallelismConfig(args.prefill_tp, args.prefill_pp)
-        )
-        system = ColocatedSystem(sim, spec, num_replicas=args.num_prefill,
-                                 tracer=tracer)
+    spec = InstanceSpec(
+        model=model, config=ParallelismConfig(args.prefill_tp, args.prefill_pp)
+    )
+    return ColocatedSystem(
+        sim, spec, num_replicas=args.num_prefill, tracer=tracer,
+        profiler=profiler,
+    )
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    sim, sanitizer = _make_sim(args)
+    tracer = Tracer()
+    system = _build_system(args, sim, tracer=tracer)
     if sanitizer is not None:
         sanitizer.watch_system(system)
     trace = generate_trace(
@@ -207,24 +251,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
     """Run a seeded workload with full instrumentation and report it."""
-    model = get_model(args.model)
     sim, sanitizer = _make_sim(args)
-    if args.mode == "disaggregated":
-        prefill_spec = InstanceSpec(
-            model=model, config=ParallelismConfig(args.prefill_tp, args.prefill_pp)
-        )
-        decode_spec = InstanceSpec(
-            model=model, config=ParallelismConfig(args.decode_tp, args.decode_pp)
-        )
-        system = DisaggregatedSystem(
-            sim, prefill_spec, decode_spec,
-            num_prefill=args.num_prefill, num_decode=args.num_decode,
-        )
-    else:
-        spec = InstanceSpec(
-            model=model, config=ParallelismConfig(args.prefill_tp, args.prefill_pp)
-        )
-        system = ColocatedSystem(sim, spec, num_replicas=args.num_prefill)
+    system = _build_system(args, sim)
     if sanitizer is not None:
         sanitizer.watch_system(system)
     slo = SLO(ttft=args.ttft, tpot=args.tpot)
@@ -284,6 +312,68 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return _finish_sanitize(sanitizer)
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Critical-path profile of one run, or a diff of two saved runs."""
+    if args.diff:
+        try:
+            report_a = json.loads(pathlib.Path(args.diff[0]).read_text())
+            report_b = json.loads(pathlib.Path(args.diff[1]).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"repro profile: cannot read report: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        try:
+            report = diff_profiles(report_a, report_b)
+        except (ValueError, KeyError) as exc:
+            print(f"repro profile: bad report: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        rendered = (
+            profile_to_json(report) if args.format == "json"
+            else format_profile_diff(report)
+        )
+        sys.stdout.write(rendered)
+        sanitizer = None
+    else:
+        sim, sanitizer = _make_sim(args)
+        tracer = Tracer()
+        profiler = Profiler()
+        system = _build_system(args, sim, tracer=tracer, profiler=profiler)
+        if sanitizer is not None:
+            sanitizer.watch_system(system)
+        trace = generate_trace(
+            get_dataset(args.dataset), rate=args.rate,
+            num_requests=args.requests, rng=np.random.default_rng(args.seed),
+        )
+        result = simulate_trace(system, trace)
+        slo = (args.ttft, args.tpot) if args.ttft > 0 and args.tpot > 0 else None
+        report = build_profile(
+            tracer.spans,
+            profiler=profiler,
+            sim_time=result.sim_time,
+            slo=slo,
+            meta={
+                "mode": args.mode,
+                "model": args.model,
+                "dataset": args.dataset,
+                "rate": args.rate,
+                "requests": args.requests,
+                "seed": args.seed,
+            },
+            num_gpus=result.num_gpus,
+        )
+        rendered = (
+            profile_to_json(report) if args.format == "json"
+            else format_profile(report)
+        )
+        sys.stdout.write(rendered)
+    if args.json_out:
+        pathlib.Path(args.json_out).write_text(profile_to_json(report))
+        print(f"JSON profile written to {args.json_out}", file=sys.stderr)
+    if args.html_out:
+        pathlib.Path(args.html_out).write_text(profile_to_html(report))
+        print(f"HTML profile written to {args.html_out}", file=sys.stderr)
+    return _finish_sanitize(sanitizer)
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run reprolint over the given paths; exit 1 on findings."""
     from .lint import LintEngine, findings_to_json, format_findings, rule_names
@@ -295,23 +385,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         engine = LintEngine(select=select)
     except ValueError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     if args.list_rules:
         from .lint import all_rules
 
         for name, cls in sorted(all_rules().items()):
             print(f"{name}  {cls.summary}")
-        return 0
+        return EXIT_OK
     if not args.paths:
         print("repro lint: no paths given (try: src tests)", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     findings, checked = engine.lint_paths(args.paths)
     if args.format == "json":
         sys.stdout.write(findings_to_json(findings, checked))
     else:
         print(format_findings(findings))
         print(f"({checked} file(s) checked, rules: {', '.join(rule_names())})")
-    return 1 if findings else 0
+    return EXIT_FINDINGS if findings else EXIT_OK
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -334,7 +424,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro", description="DistServe reproduction toolkit"
+        prog="repro",
+        description="DistServe reproduction toolkit",
+        epilog=(
+            "exit codes: 0 success; 1 findings (sanitizer violations under "
+            "--sanitize — even in lenient mode — or lint findings); "
+            "2 usage errors (bad arguments, unreadable inputs)"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -429,6 +525,41 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--sanitize", action="store_true",
                          help="run under SimSanitizer; exit 1 on violations")
 
+    profile = sub.add_parser(
+        "profile",
+        help="critical-path profile: per-phase latency attribution, "
+             "utilization timelines, and differential run comparison",
+    )
+    profile.add_argument("--model", default="opt-13b")
+    profile.add_argument("--dataset", default="sharegpt")
+    profile.add_argument("--mode", choices=("disaggregated", "colocated"),
+                         default="disaggregated")
+    profile.add_argument("--rate", type=float, default=2.0)
+    profile.add_argument("--requests", type=int, default=100)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--num-prefill", type=int, default=1,
+                         help="prefill instances (replicas in colocated mode)")
+    profile.add_argument("--num-decode", type=int, default=1)
+    profile.add_argument("--prefill-tp", type=int, default=1)
+    profile.add_argument("--prefill-pp", type=int, default=1)
+    profile.add_argument("--decode-tp", type=int, default=1)
+    profile.add_argument("--decode-pp", type=int, default=1)
+    profile.add_argument("--ttft", type=float, default=0.0,
+                         help="TTFT SLO in seconds (0 disables goodput)")
+    profile.add_argument("--tpot", type=float, default=0.0,
+                         help="TPOT SLO in seconds (0 disables goodput)")
+    profile.add_argument("--format", choices=("human", "json"),
+                         default="human")
+    profile.add_argument("--json-out", default="",
+                         help="machine-readable profile report path")
+    profile.add_argument("--html-out", default="",
+                         help="self-contained HTML report path")
+    profile.add_argument("--diff", nargs=2, metavar=("A", "B"), default=None,
+                         help="compare two saved --json-out reports instead "
+                              "of running a simulation")
+    profile.add_argument("--sanitize", action="store_true",
+                         help="run under SimSanitizer; exit 1 on violations")
+
     lint = sub.add_parser(
         "lint",
         help="reprolint: determinism & simulation-invariant static analysis",
@@ -457,6 +588,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "serve": _cmd_serve,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
+        "profile": _cmd_profile,
         "analyze": _cmd_analyze,
         "lint": _cmd_lint,
     }

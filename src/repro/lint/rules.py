@@ -13,6 +13,7 @@ DET004      bare ``sum()`` float accumulation in latency/goodput paths
 SIM001      ``Simulation.schedule(_at)`` calls not provably non-past
 SIM002      re-entrant scheduler mutation from callbacks
 PAR001      unpicklable objects handed to the parallel evaluator
+OBS001      comprehensions in profiler/metric per-event hot paths
 ==========  ==========================================================
 
 Scoping is deliberate: rules only fire where the invariant actually
@@ -45,6 +46,7 @@ __all__ = [
     "NonPastScheduleRule",
     "ReentrantMutationRule",
     "PicklableTaskRule",
+    "HotPathComprehensionRule",
 ]
 
 _Yield = Iterator[Tuple[ast.AST, str]]
@@ -635,3 +637,99 @@ class PicklableTaskRule(Rule):
                     f"functions do not pickle across `{tail}` — hoist it "
                     "to module level"
                 )
+
+
+# ----------------------------------------------------------------------
+# OBS001 — allocation-light observability hot paths
+# ----------------------------------------------------------------------
+
+#: Per-event observability entry points: methods called once per span,
+#: metric sample, or profiler event. At trace volume (10^5-10^6 events
+#: per run) a comprehension's freshly-allocated list/dict per call is
+#: measurable overhead — the <5% profiler budget in
+#: benchmarks/bench_profile_overhead.py depends on these staying
+#: append-only. Names are matched exactly, plus any method whose name
+#: starts with ``record``.
+_HOT_EVENT_METHODS = {
+    "begin_pending",
+    "end_pending",
+    "note_pending",
+    "span",
+    "instant",
+    "observe",
+    "observe_arrival",
+    "observe_completion",
+    "inc",
+    "dec",
+    "set",
+}
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+_COMP_LABEL = {
+    ast.ListComp: "list comprehension",
+    ast.SetComp: "set comprehension",
+    ast.DictComp: "dict comprehension",
+    ast.GeneratorExp: "generator expression",
+}
+
+
+def _is_hot_event_method(name: str) -> bool:
+    return name in _HOT_EVENT_METHODS or name.startswith("record")
+
+
+@register
+class HotPathComprehensionRule(Rule):
+    name = "OBS001"
+    summary = "no comprehensions in profiler/metric per-event hot paths"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.module.startswith(("repro.simulator", "repro.serving"))
+
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx: ModuleContext) -> _Yield:
+        if not _is_hot_event_method(node.name):
+            return
+        # Only methods: free functions named `set`/`inc`/... are not the
+        # per-event entry points this rule is scoped to.
+        if not isinstance(ctx.parent(), ast.ClassDef):
+            return
+        # Walk the method body without descending into nested defs or
+        # lambdas — those are deferred callbacks, judged by their own
+        # names, not part of the per-event path.
+        stack: "list[ast.AST]" = list(ast.iter_child_nodes(node))
+        while stack:
+            sub = stack.pop()
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(sub))
+            if isinstance(sub, _COMPREHENSIONS):
+                yield sub, (
+                    f"{_COMP_LABEL[type(sub)]} in per-event hot path "
+                    f"`{node.name}`; this runs once per span/metric/"
+                    "profiler event — append plain tuples or use an "
+                    "explicit loop instead of allocating a fresh "
+                    "container per call"
+                )
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> _Yield:
+        # Metric read callbacks (`fn=lambda: ...`) run on every
+        # collection pass — same per-event budget as the record methods.
+        tail = call_tail(node)
+        if tail not in _CALLBACK_SINKS:
+            return
+        callbacks: "list[ast.expr]" = [
+            kw.value for kw in node.keywords if kw.arg == "fn"
+        ]
+        if tail == "register" and len(node.args) >= 2:
+            callbacks.append(node.args[1])
+        for callback in callbacks:
+            if not isinstance(callback, ast.Lambda):
+                continue
+            for sub in ast.walk(callback.body):
+                if isinstance(sub, _COMPREHENSIONS):
+                    yield sub, (
+                        f"{_COMP_LABEL[type(sub)]} in metric read "
+                        "callback; collection samples every child each "
+                        "pass — precompute or loop without allocating "
+                        "per call"
+                    )

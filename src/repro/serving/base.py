@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from ..simulator.events import Simulation
 from ..simulator.metrics import MetricsRegistry, SloMonitor
+from ..simulator.profiler import NULL_PROFILER, Profiler
 from ..simulator.request import RequestRecord, RequestState
 from ..simulator.tracing import NULL_TRACER, Span, SpanKind, Tracer
 from ..simulator.transfer import TransferRecord
@@ -29,13 +30,23 @@ class ServingSystem(abc.ABC):
     optional :class:`~repro.simulator.tracing.Tracer` receives per-request
     lifecycle spans (``arrival``/``completion`` from this base; queue,
     exec, transfer, and step spans from the instances the subclass wires
-    the tracer into).
+    the tracer into). An optional
+    :class:`~repro.simulator.profiler.Profiler` receives instance-level
+    execution events through the same injection pattern — subclasses
+    forward it to their instances and transfer engines.
     """
 
-    def __init__(self, sim: Simulation, tracer: "Tracer | None" = None) -> None:
+    def __init__(
+        self,
+        sim: Simulation,
+        tracer: "Tracer | None" = None,
+        profiler: "Profiler | None" = None,
+    ) -> None:
         self.sim = sim
         self.tracer = tracer
+        self.profiler = profiler
         self._trace = tracer if tracer is not None else NULL_TRACER
+        self._prof = profiler if profiler is not None else NULL_PROFILER
         self.records: "list[RequestRecord]" = []
         self._submitted = 0
         #: Requests refused admission (admission-control extensions).
@@ -153,6 +164,9 @@ def simulate_trace(
         assert request.arrival_time >= sim.now  # traces arrive in the future
         sim.schedule_at(request.arrival_time, _make_arrival(system, request))
     sim.run(until=max_sim_time, max_events=max_events)
+    profiler = getattr(system, "profiler", None)
+    if profiler is not None:
+        profiler.finish(sim.now)
     transfers = getattr(system, "transfer_records", [])
     try:
         gpus = system.num_gpus()

@@ -16,6 +16,7 @@ from ..simulator.colocated_instance import ColocatedInstance
 from ..simulator.events import Simulation
 from ..simulator.instance import InstanceSpec
 from ..simulator.metrics import MetricsRegistry
+from ..simulator.profiler import Profiler
 from ..simulator.request import RequestState
 from ..simulator.tracing import Tracer
 from ..workload.trace import Request
@@ -36,6 +37,8 @@ class ColocatedSystem(ServingSystem):
         chunk_size: Chunk budget for the ``"chunked"`` policy.
         rng: Needed only for random dispatch.
         tracer: Optional lifecycle tracer, shared with every replica.
+        profiler: Optional critical-path profiler, shared with every
+            replica.
     """
 
     def __init__(
@@ -49,8 +52,9 @@ class ColocatedSystem(ServingSystem):
         chunk_size: int = 512,
         rng: "np.random.Generator | None" = None,
         tracer: "Tracer | None" = None,
+        profiler: "Profiler | None" = None,
     ) -> None:
-        super().__init__(sim, tracer=tracer)
+        super().__init__(sim, tracer=tracer, profiler=profiler)
         if num_replicas <= 0:
             raise ValueError(f"num_replicas must be positive, got {num_replicas}")
         self.spec = spec
@@ -64,6 +68,7 @@ class ColocatedSystem(ServingSystem):
                 chunk_size=chunk_size,
                 name=f"colocated-{i}",
                 tracer=tracer,
+                profiler=profiler,
             )
             for i in range(num_replicas)
         ]

@@ -26,6 +26,7 @@ from ..simulator.events import Simulation
 from ..simulator.instance import InstanceSpec
 from ..simulator.metrics import MetricsRegistry
 from ..simulator.prefill_instance import PrefillInstance
+from ..simulator.profiler import Profiler
 from ..simulator.request import RequestState
 from ..simulator.tracing import SpanKind, Tracer
 from ..simulator.transfer import TransferEngine
@@ -52,6 +53,9 @@ class DisaggregatedSystem(ServingSystem):
         dispatch_policy: Routing policy for both pools.
         rng: Needed only for random dispatch.
         tracer: Optional lifecycle tracer, shared with every instance.
+        profiler: Optional critical-path profiler, shared with every
+            instance and the transfer engine; additionally receives
+            blocked-on-transfer intervals per decode instance (pull mode).
     """
 
     def __init__(
@@ -67,8 +71,9 @@ class DisaggregatedSystem(ServingSystem):
         dispatch_policy: str = "least_loaded",
         rng: "np.random.Generator | None" = None,
         tracer: "Tracer | None" = None,
+        profiler: "Profiler | None" = None,
     ) -> None:
-        super().__init__(sim, tracer=tracer)
+        super().__init__(sim, tracer=tracer, profiler=profiler)
         if num_prefill <= 0 or num_decode <= 0:
             raise ValueError("need at least one instance of each kind")
         if transfer_mode not in ("pull", "push"):
@@ -84,18 +89,18 @@ class DisaggregatedSystem(ServingSystem):
             if transfer_channels is not None
             else min(prefill_spec.config.pp, decode_spec.config.pp)
         )
-        self._transfers = TransferEngine(sim)
+        self._transfers = TransferEngine(sim, profiler=profiler)
         self.prefill_instances = [
             PrefillInstance(
                 sim, prefill_spec, on_prefill_done=self._on_prefill_done,
-                name=f"prefill-{i}", tracer=tracer,
+                name=f"prefill-{i}", tracer=tracer, profiler=profiler,
             )
             for i in range(num_prefill)
         ]
         self.decode_instances = [
             DecodeInstance(
                 sim, decode_spec, on_request_done=self._on_decode_done,
-                name=f"decode-{i}", tracer=tracer,
+                name=f"decode-{i}", tracer=tracer, profiler=profiler,
             )
             for i in range(num_decode)
         ]
@@ -139,7 +144,7 @@ class DisaggregatedSystem(ServingSystem):
         registry.gauge(
             "repro_pending_pull_requests",
             "KV caches parked on prefill memory awaiting a decode reservation",
-            fn=lambda: sum(len(q) for q in self._pending_pull.values()),
+            fn=self._pending_pull_depth,
         )
         registry.gauge(
             "repro_inflight_reserved_blocks",
@@ -150,6 +155,29 @@ class DisaggregatedSystem(ServingSystem):
             "repro_instance_failures_total", "Instances killed by fault injection",
             fn=lambda: self.failures,
         )
+
+    def _pending_pull_depth(self) -> int:
+        # Plain loop: metric callbacks run on the collection hot path and
+        # must not allocate per call (reprolint OBS001).
+        total = 0
+        for queue in self._pending_pull.values():
+            total += len(queue)
+        return total
+
+    def _note_pending(self, decode: DecodeInstance) -> None:
+        """Reconcile the profiler's blocked-on-transfer interval.
+
+        A decode instance counts as blocked while KV caches are parked
+        for it on prefill memory or promised to in-flight transfers —
+        the §4.3 pull policy's queuing-on-the-prefill-side signal.
+        """
+        if not self._prof.enabled:
+            return
+        blocked = (
+            bool(self._pending_pull.get(decode.name))
+            or self._inflight_blocks.get(decode.name, 0) > 0
+        )
+        self._prof.note_pending(decode.name, blocked, self.sim.now)
 
     # ------------------------------------------------------------------
     def submit(self, request: Request) -> None:
@@ -196,6 +224,7 @@ class DisaggregatedSystem(ServingSystem):
             queue.popleft()
             self._inflight_blocks[decode.name] += decode.reservation_blocks(state)
             self._start_transfer(state, prefill, decode)
+        self._note_pending(decode)
 
     def _start_transfer(
         self,
@@ -215,6 +244,7 @@ class DisaggregatedSystem(ServingSystem):
             self._home_prefill.pop(state.request_id, None)
             if self.transfer_mode == "pull" and decode.name in self._inflight_blocks:
                 self._inflight_blocks[decode.name] -= decode.reservation_blocks(state)
+                self._note_pending(decode)
             if not decode.alive:
                 # The destination died while the cache was in flight; the
                 # data is lost — recompute on the prefill side.
@@ -260,6 +290,8 @@ class DisaggregatedSystem(ServingSystem):
                 state = entry[0]
                 state.recompute_len = state.context_len
                 lost.append(state)
+        for decode in self.decode_instances:
+            self._note_pending(decode)
         rerouted = 0
         for state in lost:
             target = self._prefill_dispatch.choose(self.prefill_instances)
@@ -284,6 +316,8 @@ class DisaggregatedSystem(ServingSystem):
         lost = victim.fail()
         self.decode_instances.remove(victim)
         self.failures += 1
+        if self._prof.enabled:
+            self._prof.end_pending(victim.name, self.sim.now)
         # Requests queued for pull toward the dead instance keep their
         # prefill-side KV; just re-route the pull to a survivor.
         stranded = list(self._pending_pull.pop(victim.name, ()))

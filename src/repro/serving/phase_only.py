@@ -21,6 +21,7 @@ from ..simulator.events import Simulation
 from ..simulator.instance import InstanceSpec
 from ..simulator.metrics import MetricsRegistry
 from ..simulator.prefill_instance import PrefillInstance
+from ..simulator.profiler import Profiler
 from ..simulator.request import RequestState
 from ..simulator.tracing import SpanKind, Tracer
 from ..workload.trace import Request
@@ -37,13 +38,14 @@ class PrefillOnlySystem(ServingSystem):
         spec: InstanceSpec,
         num_instances: int = 1,
         tracer: "Tracer | None" = None,
+        profiler: "Profiler | None" = None,
     ) -> None:
-        super().__init__(sim, tracer=tracer)
+        super().__init__(sim, tracer=tracer, profiler=profiler)
         self.spec = spec
         self.instances = [
             PrefillInstance(
                 sim, spec, on_prefill_done=self._finish, name=f"prefill-{i}",
-                tracer=tracer,
+                tracer=tracer, profiler=profiler,
             )
             for i in range(num_instances)
         ]
@@ -87,13 +89,14 @@ class DecodeOnlySystem(ServingSystem):
         spec: InstanceSpec,
         num_instances: int = 1,
         tracer: "Tracer | None" = None,
+        profiler: "Profiler | None" = None,
     ) -> None:
-        super().__init__(sim, tracer=tracer)
+        super().__init__(sim, tracer=tracer, profiler=profiler)
         self.spec = spec
         self.instances = [
             DecodeInstance(
                 sim, spec, on_request_done=self._complete, name=f"decode-{i}",
-                tracer=tracer,
+                tracer=tracer, profiler=profiler,
             )
             for i in range(num_instances)
         ]

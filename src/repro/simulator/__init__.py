@@ -18,6 +18,7 @@ from .metrics import (
     exponential_buckets,
 )
 from .prefill_instance import PrefillInstance
+from .profiler import NULL_PROFILER, NullProfiler, Profiler
 from .request import RequestPhase, RequestRecord, RequestState
 from .sanitizer import (
     SanitizedSimulation,
@@ -51,6 +52,9 @@ __all__ = [
     "KVBlockManager",
     "OutOfBlocksError",
     "PrefillInstance",
+    "NULL_PROFILER",
+    "NullProfiler",
+    "Profiler",
     "RequestPhase",
     "RequestRecord",
     "RequestState",

@@ -33,6 +33,7 @@ from .events import Simulation
 from .instance import InstanceSpec
 from .kvcache import KVBlockManager
 from .metrics import MetricsRegistry
+from .profiler import NULL_PROFILER, Profiler
 from .request import RequestPhase, RequestState
 from .tracing import NULL_TRACER, SpanKind, Tracer
 from ..latency.mixed import mixed_batch_latency
@@ -55,6 +56,8 @@ class ColocatedInstance:
         chunk_size: Prompt-chunk budget for the ``"chunked"`` policy.
         name: Identifier for reporting.
         tracer: Optional lifecycle tracer receiving queue/exec/step spans.
+        profiler: Optional critical-path profiler receiving one exec
+            event per iteration, tagged by iteration kind.
     """
 
     def __init__(
@@ -67,6 +70,7 @@ class ColocatedInstance:
         chunk_size: int = 512,
         name: str = "colocated-0",
         tracer: "Tracer | None" = None,
+        profiler: "Profiler | None" = None,
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
@@ -90,6 +94,7 @@ class ColocatedInstance:
         self._recompute_len: "dict[int, int]" = {}
         self._jitter = spec.make_jitter(name)
         self._trace = tracer if tracer is not None else NULL_TRACER
+        self._prof = profiler if profiler is not None else NULL_PROFILER
         self._iterating = False
         # Instrumentation.
         self.prefill_iterations = 0
@@ -222,7 +227,8 @@ class ColocatedInstance:
             assert duration >= 0.0  # latency model + jitter are nonnegative
             self.prefill_iterations += 1
             self.busy_time += duration
-            self.tokens_prefilled += sum(lens)
+            batch_tokens = sum(lens)
+            self.tokens_prefilled += batch_tokens
             for state in batch:
                 state.phase = RequestPhase.PREFILLING
                 state.stamp("prefill_start", self._sim.now)
@@ -236,7 +242,11 @@ class ColocatedInstance:
                     self.name,
                     batch_size=len(batch),
                 )
-            self._sim.schedule(duration, lambda: self._finish_prefill(batch))
+            step_start = self._sim.now
+            self._sim.schedule(
+                duration,
+                lambda: self._finish_prefill(batch, step_start, batch_tokens),
+            )
             return
         if self._running:
             contexts = [s.context_len for s in self._running]
@@ -297,7 +307,8 @@ class ColocatedInstance:
             assert duration >= 0.0  # latency model + jitter are nonnegative
             self.prefill_iterations += 1
             self.busy_time += duration
-            self.tokens_prefilled += sum(lens)
+            batch_tokens = sum(lens)
+            self.tokens_prefilled += batch_tokens
             for state in batch:
                 state.phase = RequestPhase.PREFILLING
                 state.stamp("prefill_start", self._sim.now)
@@ -311,11 +322,25 @@ class ColocatedInstance:
                     self.name,
                     batch_size=len(batch),
                 )
-            self._sim.schedule(duration, lambda: self._finish_prefill(batch))
+            step_start = self._sim.now
+            self._sim.schedule(
+                duration,
+                lambda: self._finish_prefill(batch, step_start, batch_tokens),
+            )
             return
         self._iterating = False
 
-    def _finish_prefill(self, batch: "list[RequestState]") -> None:
+    def _finish_prefill(
+        self,
+        batch: "list[RequestState]",
+        step_start: float = 0.0,
+        batch_tokens: int = 0,
+    ) -> None:
+        if self._prof.enabled:
+            self._prof.record_exec(
+                self.name, "prefill", step_start, self._sim.now,
+                len(batch), batch_tokens,
+            )
         for state in batch:
             was_preempted = state.request_id in self._recompute_len
             self._recompute_len.pop(state.request_id, None)
@@ -346,13 +371,19 @@ class ColocatedInstance:
     def _finish_decode(
         self, batch: "list[RequestState]", step_start: float = 0.0
     ) -> None:
-        self._advance_decodes(batch, step_start)
+        step_tokens = self._advance_decodes(batch, step_start)
+        if self._prof.enabled:
+            self._prof.record_exec(
+                self.name, "decode", step_start, self._sim.now,
+                len(batch), step_tokens,
+            )
         self._run_iteration()
 
     def _advance_decodes(
         self, batch: "list[RequestState]", step_start: float = 0.0
-    ) -> None:
+    ) -> int:
         finished: "list[RequestState]" = []
+        step_tokens = 0
         for state in batch:
             if state.request_id not in self._running_ids:
                 continue  # preempted during this iteration
@@ -363,6 +394,7 @@ class ColocatedInstance:
             self._kv.append(state.request_id)
             state.record_token(self._sim.now)
             self.tokens_generated += 1
+            step_tokens += 1
             if self._trace.enabled:
                 self._trace.span(
                     state.request_id,
@@ -381,6 +413,7 @@ class ColocatedInstance:
             self._kv.free(state.request_id)
             state.phase = RequestPhase.FINISHED
             self._on_done(state)
+        return step_tokens
 
     def _preempt_youngest(self, exclude_id: int) -> None:
         """Recompute-preempt the most recently admitted running request."""
@@ -462,8 +495,12 @@ class ColocatedInstance:
             if self._chunk_progress.get(s.request_id, 0) >= self._prompt_len(s)
         ]
         step_start = self._sim.now
+        mixed_batch_size = len(decode_snapshot) + len(chunk_lens)
         self._sim.schedule(
-            duration, lambda: self._finish_mixed(decode_snapshot, completed, step_start)
+            duration,
+            lambda: self._finish_mixed(
+                decode_snapshot, completed, step_start, spent, mixed_batch_size
+            ),
         )
 
     def _finish_mixed(
@@ -471,6 +508,8 @@ class ColocatedInstance:
         decode_batch: "list[RequestState]",
         prefilled: "list[RequestState]",
         step_start: float = 0.0,
+        prefill_tokens: int = 0,
+        batch_size: int = 0,
     ) -> None:
         for state in prefilled:
             was_preempted = state.request_id in self._recompute_len
@@ -497,5 +536,10 @@ class ColocatedInstance:
             else:
                 self._running.append(state)
                 self._running_ids.add(state.request_id)
-        self._advance_decodes(decode_batch, step_start)
+        step_tokens = self._advance_decodes(decode_batch, step_start)
+        if self._prof.enabled:
+            self._prof.record_exec(
+                self.name, "mixed", step_start, self._sim.now,
+                batch_size, prefill_tokens + step_tokens,
+            )
         self._run_iteration()

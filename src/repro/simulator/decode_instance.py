@@ -26,6 +26,7 @@ from .events import Simulation
 from .instance import InstanceSpec
 from .kvcache import KVBlockManager
 from .metrics import MetricsRegistry
+from .profiler import NULL_PROFILER, Profiler
 from .request import RequestPhase, RequestState
 from .tracing import NULL_TRACER, SpanKind, Tracer
 from ..latency.parallel import decode_times
@@ -47,6 +48,8 @@ class DecodeInstance:
             an append failure then preempts the youngest request).
         name: Identifier for reporting.
         tracer: Optional lifecycle tracer receiving queue/step spans.
+        profiler: Optional critical-path profiler receiving one exec
+            event per decoding step.
     """
 
     def __init__(
@@ -57,6 +60,7 @@ class DecodeInstance:
         reserve_full_context: bool = True,
         name: str = "decode-0",
         tracer: "Tracer | None" = None,
+        profiler: "Profiler | None" = None,
     ) -> None:
         self._sim = sim
         self.spec = spec
@@ -70,6 +74,7 @@ class DecodeInstance:
         self._coeffs = spec.latency_coeffs
         self._jitter = spec.make_jitter(name)
         self._trace = tracer if tracer is not None else NULL_TRACER
+        self._prof = profiler if profiler is not None else NULL_PROFILER
         self._alive = True
         self._stepping = False
         # Instrumentation.
@@ -225,6 +230,7 @@ class DecodeInstance:
         if not self._alive:
             return  # the instance died mid-step; victims re-routed
         finished: "list[RequestState]" = []
+        step_tokens = 0
         for state in batch:
             if state.request_id not in self._active_ids:
                 continue  # preempted mid-step
@@ -238,6 +244,7 @@ class DecodeInstance:
                 self._kv.append(state.request_id)
             state.record_token(self._sim.now)
             self.tokens_generated += 1
+            step_tokens += 1
             if self._trace.enabled:
                 self._trace.span(
                     state.request_id,
@@ -250,6 +257,11 @@ class DecodeInstance:
                 )
             if state.is_finished:
                 finished.append(state)
+        if self._prof.enabled:
+            self._prof.record_exec(
+                self.name, "decode", step_start, self._sim.now,
+                len(batch), step_tokens,
+            )
         for state in finished:
             self._active.remove(state)
             self._active_ids.discard(state.request_id)

@@ -27,6 +27,7 @@ requested, so instrumentation adds no hot-path cost to the simulator.
 from __future__ import annotations
 
 import re
+from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, Iterable
@@ -151,10 +152,13 @@ class Histogram:
     def observe(self, value: float) -> None:
         self.count += 1
         self.sum += value
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.bucket_counts[i] += 1
-                break
+        # Prometheus `le` semantics: a value landing exactly on a bound
+        # belongs to that bucket. bisect_left finds the first bound not
+        # < value; the explicit `<=` re-check keeps NaN out of every
+        # finite bucket (it still counts toward +Inf via self.count).
+        i = bisect_left(self.bounds, value)
+        if i < len(self.bounds) and value <= self.bounds[i]:
+            self.bucket_counts[i] += 1
 
     def cumulative_counts(self) -> "list[int]":
         """Per-bucket cumulative counts (Prometheus ``le`` semantics)."""

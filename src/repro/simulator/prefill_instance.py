@@ -29,6 +29,7 @@ from .events import Simulation
 from .instance import InstanceSpec
 from .kvcache import KVBlockManager
 from .metrics import MetricsRegistry
+from .profiler import NULL_PROFILER, Profiler
 from .request import RequestPhase, RequestState
 from .tracing import NULL_TRACER, SpanKind, Tracer
 from ..latency.parallel import ExecutionTimes, prefill_times
@@ -56,6 +57,8 @@ class PrefillInstance:
             requests toward the front faster, bounding starvation.
         name: Identifier for reporting.
         tracer: Optional lifecycle tracer receiving queue/exec spans.
+        profiler: Optional critical-path profiler receiving one exec
+            event per executed batch.
     """
 
     def __init__(
@@ -68,6 +71,7 @@ class PrefillInstance:
         sjf_aging: float = 2000.0,
         name: str = "prefill-0",
         tracer: "Tracer | None" = None,
+        profiler: "Profiler | None" = None,
     ) -> None:
         if queue_policy not in ("fcfs", "sjf"):
             raise ValueError(
@@ -91,6 +95,7 @@ class PrefillInstance:
         )
         self._jitter = spec.make_jitter(name)
         self._trace = tracer if tracer is not None else NULL_TRACER
+        self._prof = profiler if profiler is not None else NULL_PROFILER
         self._alive = True
         self._in_flight_states: "dict[int, RequestState]" = {}
         # Pipeline conveyor state.
@@ -268,7 +273,8 @@ class PrefillInstance:
         self._in_flight += 1
         self.batches_executed += 1
         self.busy_time += times.stage_time
-        self.tokens_prefilled += sum(lens)
+        batch_tokens = sum(lens)
+        self.tokens_prefilled += batch_tokens
         for state in batch:
             state.phase = RequestPhase.PREFILLING
             state.stamp("prefill_start", start)
@@ -288,6 +294,11 @@ class PrefillInstance:
             if not self._alive:
                 return  # the instance died mid-batch; victims re-routed
             self._in_flight -= 1
+            if self._prof.enabled:
+                self._prof.record_exec(
+                    self.name, "prefill", start, self._sim.now,
+                    len(batch), batch_tokens,
+                )
             for state in batch:
                 self._in_flight_states.pop(state.request_id, None)
                 state.stamp("prefill_end", self._sim.now)

@@ -15,6 +15,7 @@ from typing import Callable
 
 from .events import Simulation
 from .metrics import Histogram, MetricsRegistry, exponential_buckets
+from .profiler import NULL_PROFILER, Profiler
 from ..hardware.network import NetworkLink
 
 __all__ = ["TransferEngine", "TransferRecord"]
@@ -49,8 +50,9 @@ class TransferEngine:
     different links proceed concurrently.
     """
 
-    def __init__(self, sim: Simulation) -> None:
+    def __init__(self, sim: Simulation, profiler: "Profiler | None" = None) -> None:
         self._sim = sim
+        self._prof = profiler if profiler is not None else NULL_PROFILER
         self._links: "dict[int, _LinkState]" = {}
         self.records: "list[TransferRecord]" = []
         self.total_bytes = 0.0
@@ -119,6 +121,8 @@ class TransferEngine:
         self.total_bytes += num_bytes
         self.transfers_submitted += 1
         self.stall_time += start - self._sim.now
+        if self._prof.enabled:
+            self._prof.record_transfer(request_id, self._sim.now, start, end)
         if self._duration_hist is not None:
             self._duration_hist.observe(duration)
 

@@ -4,7 +4,15 @@ import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import (
+    EXIT_FINDINGS,
+    EXIT_OK,
+    EXIT_USAGE,
+    _finish_sanitize,
+    build_parser,
+    main,
+)
+from repro.simulator import SimSanitizer
 
 
 class TestParser:
@@ -144,3 +152,119 @@ class TestCommands:
         doc = json.loads(out.read_text())
         names = {e["name"] for e in doc["traceEvents"]}
         assert "kv_transfer" not in names
+
+
+class TestProfileCommand:
+    def test_profile_human_output(self, capsys):
+        assert main(
+            ["profile", "--model", "opt-1.3b", "--rate", "4.0",
+             "--requests", "10", "--ttft", "4.0", "--tpot", "0.2"]
+        ) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "decode_exec" in out
+        assert "goodput=" in out
+
+    def test_profile_json_and_html_outputs(self, capsys, tmp_path):
+        json_out = tmp_path / "profile.json"
+        html_out = tmp_path / "profile.html"
+        assert main(
+            ["profile", "--model", "opt-1.3b", "--rate", "4.0",
+             "--requests", "10", "--format", "json",
+             "--json-out", str(json_out), "--html-out", str(html_out)]
+        ) == EXIT_OK
+        report = json.loads(json_out.read_text())
+        assert report["schema"] == "repro-profile/1"
+        assert capsys.readouterr().out.strip() == json_out.read_text().strip()
+        assert html_out.read_text().startswith("<!DOCTYPE html>")
+
+    def test_profile_deterministic_json(self, tmp_path):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            assert main(
+                ["profile", "--model", "opt-1.3b", "--rate", "4.0",
+                 "--requests", "10", "--seed", "5", "--json-out", str(path)]
+            ) == EXIT_OK
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_profile_diff_roundtrip(self, capsys, tmp_path):
+        reports = {}
+        for mode in ("colocated", "disaggregated"):
+            path = tmp_path / f"{mode}.json"
+            assert main(
+                ["profile", "--mode", mode, "--model", "opt-1.3b",
+                 "--rate", "4.0", "--requests", "10",
+                 "--json-out", str(path)]
+            ) == EXIT_OK
+            reports[mode] = path
+        capsys.readouterr()
+        assert main(
+            ["profile", "--diff", str(reports["colocated"]),
+             str(reports["disaggregated"])]
+        ) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "profile diff" in out
+        assert "attributed" in out
+
+    def test_profile_diff_missing_file_is_usage_error(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        ok = tmp_path / "ok.json"
+        assert main(
+            ["profile", "--model", "opt-1.3b", "--rate", "4.0",
+             "--requests", "5", "--json-out", str(ok)]
+        ) == EXIT_OK
+        assert main(
+            ["profile", "--diff", str(missing), str(ok)]
+        ) == EXIT_USAGE
+
+    def test_profile_diff_rejects_non_profile_json(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"schema": "something-else"}')
+        assert main(
+            ["profile", "--diff", str(bogus), str(bogus)]
+        ) == EXIT_USAGE
+
+
+class TestExitCodeSemantics:
+    """Satellite: pinned exit-code contract (documented in --help)."""
+
+    def test_constants(self):
+        assert (EXIT_OK, EXIT_FINDINGS, EXIT_USAGE) == (0, 1, 2)
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "exit codes" in out
+        assert "1 findings" in out
+        assert "2 usage errors" in out
+
+    def test_clean_sanitized_run_exits_zero(self, capsys):
+        assert main(
+            ["profile", "--model", "opt-1.3b", "--rate", "4.0",
+             "--requests", "5", "--sanitize"]
+        ) == EXIT_OK
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_lenient_sanitizer_violation_exits_findings(self, capsys):
+        """A lenient run completes, but violations still flip the exit code."""
+        sanitizer = SimSanitizer(strict=False)
+        sanitizer.violate("test_kind", "synthetic violation", time=1.0)
+        assert _finish_sanitize(sanitizer) == EXIT_FINDINGS
+        assert "test_kind" in capsys.readouterr().out
+
+    def test_clean_sanitizer_contributes_ok(self, capsys):
+        assert _finish_sanitize(SimSanitizer(strict=False)) == EXIT_OK
+        assert _finish_sanitize(None) == EXIT_OK
+
+    def test_lint_usage_error_without_paths(self, capsys):
+        assert main(["lint"]) == EXIT_USAGE
+
+    def test_lint_findings_exit_code(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nx = random.random()\n")
+        assert main(["lint", str(dirty)]) == EXIT_FINDINGS
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main(["lint", str(clean)]) == EXIT_OK

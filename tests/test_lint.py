@@ -432,6 +432,111 @@ class TestPAR001:
 
 
 # ----------------------------------------------------------------------
+# OBS001 — allocation-light observability hot paths
+# ----------------------------------------------------------------------
+
+class TestOBS001:
+    def test_positive_comprehension_in_record_method(self):
+        findings = run("""
+            class Profiler:
+                def record_exec(self, batch):
+                    self.events.append([r.id for r in batch])
+        """)
+        assert rules_of(findings) == ["OBS001"]
+
+    def test_positive_genexp_in_observe(self):
+        findings = run("""
+            class Monitor:
+                def observe(self, records):
+                    self.total += sum(r.latency for r in records)
+        """, select=["OBS001"])
+        assert rules_of(findings) == ["OBS001"]
+
+    def test_positive_dict_comprehension_in_span(self):
+        findings = run("""
+            class Tracer:
+                def span(self, rid, kind, attrs):
+                    self.spans.append({k: v for k, v in attrs})
+        """, select=["OBS001"])
+        assert rules_of(findings) == ["OBS001"]
+
+    def test_positive_record_prefix_matches(self):
+        findings = run("""
+            class Engine:
+                def record_transfer(self, blocks):
+                    sizes = {b.size for b in blocks}
+                    self.sizes.append(sizes)
+        """, select=["OBS001"])
+        assert rules_of(findings) == ["OBS001"]
+
+    def test_positive_metric_callback_comprehension(self):
+        findings = run("""
+            def instrument(registry, queues):
+                registry.gauge(
+                    "depth", "total queue depth",
+                    fn=lambda: sum(len(q) for q in queues.values()),
+                )
+        """, select=["OBS001"])
+        assert rules_of(findings) == ["OBS001"]
+
+    def test_negative_plain_loop_in_hot_path(self):
+        findings = run("""
+            class Profiler:
+                def record_exec(self, instance, start, end, batch):
+                    total = 0
+                    for request in batch:
+                        total += request.tokens
+                    self.events.append((instance, start, end, total))
+        """, select=["OBS001"])
+        assert findings == []
+
+    def test_negative_comprehension_in_cold_method(self):
+        findings = run("""
+            class Profiler:
+                def summarize(self):
+                    return [e for e in self.events]
+        """, select=["OBS001"])
+        assert findings == []
+
+    def test_negative_free_function_not_flagged(self):
+        findings = run("""
+            def observe(values):
+                return [v * 2 for v in values]
+        """, select=["OBS001"])
+        assert findings == []
+
+    def test_negative_out_of_scope_module(self):
+        findings = run("""
+            class Profiler:
+                def record_exec(self, batch):
+                    return [r.id for r in batch]
+        """, module="repro.analysis.fixture", select=["OBS001"])
+        assert findings == []
+
+    def test_nested_def_inside_hot_method_not_flagged(self):
+        # A nested function is a deferred callback, not the per-event
+        # path itself; it is judged on its own name.
+        findings = run("""
+            class Instance:
+                def record_step(self, batch):
+                    def finish():
+                        return [r.id for r in batch]
+                    self.on_done = finish
+                    self.count += 1
+        """, select=["OBS001"])
+        assert findings == []
+
+    def test_suppression(self):
+        findings = run("""
+            class Profiler:
+                def record_exec(self, batch):
+                    # reprolint: disable=OBS001 -- cold slow-path branch
+                    self.events.append([r.id for r in batch])
+        """, select=["OBS001"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # Engine mechanics
 # ----------------------------------------------------------------------
 
@@ -511,7 +616,7 @@ class TestEngine:
     def test_rule_registry_complete(self):
         assert rule_names() == [
             "DET001", "DET002", "DET003", "DET004",
-            "PAR001", "SIM001", "SIM002",
+            "OBS001", "PAR001", "SIM001", "SIM002",
         ]
 
 

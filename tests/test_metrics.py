@@ -116,6 +116,71 @@ class TestInstruments:
         assert DEFAULT_LATENCY_BUCKETS[-1] > 100.0
 
 
+class TestHistogramBucketBoundaries:
+    """Satellite audit: exact `le`-edge placement (Prometheus semantics)."""
+
+    def test_value_on_exact_bound_lands_in_that_bucket(self):
+        h = Histogram(buckets=[1.0, 2.0, 4.0])
+        for bound in (1.0, 2.0, 4.0):
+            h.observe(bound)
+        assert h.bucket_counts == [1, 1, 1]
+
+    def test_exponential_bucket_edges(self):
+        bounds = exponential_buckets(0.001, 2.0, 18)
+        h = Histogram(buckets=bounds)
+        # Every computed upper bound must fall in its own bucket, never
+        # spill into the next one — the float products from
+        # start*factor**i are exactly the stored bounds.
+        for bound in bounds:
+            h.observe(bound)
+        assert h.bucket_counts == [1] * len(bounds)
+
+    def test_below_first_and_above_last(self):
+        h = Histogram(buckets=[1.0, 2.0])
+        h.observe(-5.0)     # below every bound: first bucket
+        h.observe(0.0)
+        h.observe(2.0000001)  # above the last bound: +Inf only
+        assert h.bucket_counts == [2, 0]
+        assert h.count == 3
+
+    def test_just_inside_and_just_outside_an_edge(self):
+        h = Histogram(buckets=[1.0, 2.0, 4.0])
+        h.observe(math.nextafter(2.0, -math.inf))  # largest float < 2.0
+        h.observe(2.0)
+        h.observe(math.nextafter(2.0, math.inf))   # smallest float > 2.0
+        assert h.bucket_counts == [0, 2, 1]
+
+    def test_nan_counts_only_toward_inf(self):
+        h = Histogram(buckets=[1.0, 2.0])
+        h.observe(float("nan"))
+        assert h.count == 1
+        assert h.bucket_counts == [0, 0]
+        assert h.cumulative_counts() == [0, 0]  # +Inf (== count) still sees it
+
+    def test_cumulative_counts_monotone_under_random_observations(self):
+        rng = np.random.default_rng(11)
+        h = Histogram(buckets=list(exponential_buckets(0.001, 2.0, 18)))
+        for value in rng.exponential(scale=0.5, size=500):
+            h.observe(float(value))
+        cumulative = h.cumulative_counts()
+        assert all(b >= a for a, b in zip(cumulative, cumulative[1:]))
+        assert cumulative[-1] <= h.count  # +Inf bucket is count itself
+
+    def test_export_bucket_lines_monotone_with_edge_values(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_edge", buckets=[1.0, 2.0, 4.0])
+        for value in (1.0, 2.0, 4.0, 0.5, 9.0, float("nan")):
+            h.observe(value)
+        text = to_prometheus_text(reg)
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_edge_bucket")
+        ]
+        assert counts == sorted(counts), f"non-monotone buckets: {counts}"
+        assert counts[-1] == 6  # +Inf == observation count, NaN included
+
+
 class TestRegistry:
     def test_registration_is_idempotent(self):
         reg = MetricsRegistry()

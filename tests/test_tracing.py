@@ -166,6 +166,79 @@ class TestExporters:
         json.loads(ca.read_text())  # valid JSON document
 
 
+class TestChromeExporterEdgeCases:
+    """Satellite audit: zero-duration, out-of-order, and huge traces."""
+
+    def test_zero_duration_interval_span_renders_as_instant(self):
+        # A zero-width span of an *interval* kind (not just lifecycle
+        # instants) must become a "i" event — Perfetto drops dur=0 "X"
+        # events silently.
+        span = Span(1, SpanKind.PREFILL_EXEC, 2.0, 2.0, instance="prefill-0")
+        events = chrome_trace_events([span])
+        rendered = next(e for e in events if e["name"] == "prefill_exec")
+        assert rendered["ph"] == "i"
+        assert rendered["s"] == "t"
+        assert "dur" not in rendered
+
+    def test_out_of_order_emission_preserved_and_complete(self):
+        # The exporter must not assume spans arrive sorted by time or by
+        # request id: late spans for early requests are the norm when
+        # instances emit at completion time.
+        spans = [
+            Span(2, SpanKind.PREFILL_EXEC, 5.0, 6.0, instance="prefill-0"),
+            Span(1, SpanKind.ARRIVAL, 0.0, 0.0),
+            Span(2, SpanKind.ARRIVAL, 4.0, 4.0),
+            Span(1, SpanKind.PREFILL_EXEC, 1.0, 2.0, instance="prefill-0"),
+            Span(1, SpanKind.COMPLETION, 3.0, 3.0),
+            Span(2, SpanKind.COMPLETION, 7.0, 7.0),
+        ]
+        events = chrome_trace_events(spans)
+        data = [e for e in events if e["ph"] != "M"]
+        # Emission order is preserved 1:1 (trace viewers sort by ts).
+        assert [(e["tid"], e["name"]) for e in data] == [
+            (span.request_id, span.kind) for span in spans
+        ]
+        # Exactly one thread_name metadata event per request, named at
+        # first sighting even when request ids interleave.
+        thread_meta = [e for e in events if e["name"] == "thread_name"]
+        assert sorted(e["tid"] for e in thread_meta) == [1, 2]
+
+    def test_timestamps_scale_to_microseconds(self):
+        span = Span(1, SpanKind.DECODE_QUEUE, 1.5, 2.25, instance="decode-0")
+        events = chrome_trace_events([span])
+        rendered = next(e for e in events if e["name"] == "decode_queue")
+        assert rendered["ts"] == pytest.approx(1.5e6)
+        assert rendered["dur"] == pytest.approx(0.75e6)
+
+    def test_over_64k_spans_roundtrip(self, tmp_path):
+        # 64k is where naive uint16 track/id schemes overflow; the
+        # exporter must stay linear and the document valid JSON.
+        num_requests = 700
+        spans_per_request = 96
+        spans = []
+        for rid in range(num_requests):
+            base = rid * 0.001
+            spans.append(Span(rid, SpanKind.ARRIVAL, base, base))
+            for tok in range(spans_per_request - 2):
+                t = base + 0.01 * (tok + 1)
+                spans.append(
+                    Span(rid, SpanKind.DECODE_STEP, t, t + 0.005,
+                         instance="decode-0", token_index=tok)
+                )
+            end = base + 0.01 * spans_per_request
+            spans.append(Span(rid, SpanKind.COMPLETION, end, end))
+        assert len(spans) > 64 * 1024
+        doc = to_chrome_trace(spans)
+        # span events + process metadata + one thread metadata per request
+        assert len(doc["traceEvents"]) == len(spans) + 1 + num_requests
+        path = tmp_path / "big.json"
+        write_chrome_trace(str(path), spans)
+        parsed = json.loads(path.read_text())
+        assert len(parsed["traceEvents"]) == len(doc["traceEvents"])
+        tids = {e["tid"] for e in parsed["traceEvents"] if e["ph"] != "M"}
+        assert tids == set(range(num_requests))
+
+
 class TestSystemIntegration:
     def test_disaggregated_emits_full_lifecycle(self):
         tracer = Tracer()
