@@ -1,4 +1,4 @@
-.PHONY: install test lint sanitize-demo trace-demo metrics-demo profile-demo golden-regen bench bench-search bench-profile examples clean
+.PHONY: install test lint sanitize-demo trace-demo metrics-demo profile-demo golden-regen bench bench-search bench-profile bench-kernel examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -51,6 +51,12 @@ bench-search:
 # enforces the <5% per-event budget and writes BENCH_profile.json.
 bench-profile:
 	PYTHONPATH=src python benchmarks/bench_profile_overhead.py
+
+# Fast-forward kernel benchmark (DESIGN.md §4h): macro-stepped decode +
+# memoized batch latency vs the per-step reference; writes
+# BENCH_kernel.json at the repo root with bitwise-parity witnesses.
+bench-kernel:
+	PYTHONPATH=src python benchmarks/bench_kernel.py
 
 examples:
 	python examples/quickstart.py

@@ -1,23 +1,31 @@
-"""Perf-trajectory guard: the search-acceleration speedup must not rot.
+"""Perf-trajectory guard: committed benchmark speedups must not rot.
 
-``BENCH_search.json`` at the repo root is the committed performance
-baseline of the §4e search-acceleration layer (cache + pruning + early
-abort + workers vs the naive search). CI regenerates a fresh report on
-every run; this checker compares the fresh ``speedup_vs_baseline``
-against the committed one, per worker count, and fails when any
-speedup regressed by more than ``--tolerance`` (default 20%).
+Compares a fresh CI benchmark report against its committed baseline at
+the repo root and fails when any speedup regressed by more than
+``--tolerance`` (default 20%). Originally written for the §4e
+search-acceleration report (``BENCH_search.json``); it now guards any
+report with the common shape:
+
+* ``runs`` — a list of dicts, each carrying ``speedup_vs_baseline``
+  plus a key identifying the run (``workers`` for the search sweep,
+  ``scenario`` for the §4h fast-forward kernel's ``BENCH_kernel.json``).
+* top-level ``*_parity`` booleans — exactness witnesses (placement
+  parity for the search layer, record parity for the kernel). A fresh
+  run with any parity flag false fails outright: a fast-but-wrong run
+  is not a performance data point.
 
 The comparison is deliberately a *ratio of ratios*: absolute seconds
 differ across runners and across quick/full workload sizes, but the
-accelerated-vs-naive speedup is measured within one run on one machine,
-so it transfers. A >20% drop means the acceleration layer itself lost
-ground — a cache that stopped hitting, pruning that stopped firing —
-not that the runner was slow.
+accelerated-vs-reference speedup is measured within one run on one
+machine, so it transfers. A >20% drop means the optimization layer
+itself lost ground — a cache that stopped hitting, pruning that stopped
+firing, macro runs that stopped forming — not that the runner was slow.
 
-Usage (what CI runs)::
+Usage (what CI runs; ``--baseline``/``--fresh`` pairs repeat)::
 
     python benchmarks/check_search_trajectory.py \
-        --baseline BENCH_search.json --fresh BENCH_search_ci.json
+        --baseline BENCH_search.json --fresh BENCH_search_ci.json \
+        --baseline BENCH_kernel.json --fresh BENCH_kernel_ci.json
 """
 
 from __future__ import annotations
@@ -29,68 +37,105 @@ from pathlib import Path
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_search.json"
 
+#: Keys that identify a run within a report's ``runs`` list, in
+#: precedence order.
+_RUN_KEYS = ("workers", "scenario", "label", "name")
 
-def _speedups(report: dict) -> "dict[int, float]":
+
+def _run_label(run: dict, index: int) -> str:
+    for key in _RUN_KEYS:
+        if key in run:
+            return f"{key}={run[key]}"
+    return f"run[{index}]"
+
+
+def _speedups(report: dict) -> "dict[str, float]":
     out = {}
-    for run in report.get("runs", []):
+    for index, run in enumerate(report.get("runs", [])):
         speedup = run.get("speedup_vs_baseline")
         if speedup is not None:
-            out[int(run["workers"])] = float(speedup)
+            out[_run_label(run, index)] = float(speedup)
     return out
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
-                        help="committed BENCH_search.json")
-    parser.add_argument("--fresh", required=True,
-                        help="report produced by this CI run")
-    parser.add_argument("--tolerance", type=float, default=0.2,
-                        help="max tolerated fractional speedup regression")
-    args = parser.parse_args(argv)
+def _failed_parity_keys(report: dict) -> "list[str]":
+    return sorted(
+        key
+        for key, value in report.items()
+        if key.endswith("parity") and not value
+    )
 
+
+def check_pair(baseline_path: str, fresh_path: str, tolerance: float) -> int:
+    """Compare one committed/fresh report pair; return an exit code."""
     try:
-        baseline = json.loads(Path(args.baseline).read_text())
-        fresh = json.loads(Path(args.fresh).read_text())
+        baseline = json.loads(Path(baseline_path).read_text())
+        fresh = json.loads(Path(fresh_path).read_text())
     except (OSError, json.JSONDecodeError) as exc:
         print(f"check_search_trajectory: cannot read report: {exc}",
               file=sys.stderr)
         return 2
 
-    if not fresh.get("placement_parity", False):
-        print("FAIL: fresh run broke placement parity — the accelerated "
-              "search returned different placements than the naive one",
-              file=sys.stderr)
+    broken = _failed_parity_keys(fresh)
+    if broken:
+        print(f"FAIL: fresh run {fresh_path} broke {', '.join(broken)} — "
+              "the optimized path returned different results than the "
+              "reference one", file=sys.stderr)
         return 1
 
     base_speedups = _speedups(baseline)
     fresh_speedups = _speedups(fresh)
     common = sorted(set(base_speedups) & set(fresh_speedups))
     if not common:
-        print("check_search_trajectory: no common worker counts between "
+        print("check_search_trajectory: no common runs between "
               f"baseline {sorted(base_speedups)} and fresh "
               f"{sorted(fresh_speedups)}", file=sys.stderr)
         return 2
 
     failed = False
-    for workers in common:
-        committed = base_speedups[workers]
-        measured = fresh_speedups[workers]
-        floor = committed * (1.0 - args.tolerance)
+    for label in common:
+        committed = base_speedups[label]
+        measured = fresh_speedups[label]
+        floor = committed * (1.0 - tolerance)
         ok = measured >= floor
         failed = failed or not ok
-        print(f"workers={workers}: committed {committed:.2f}x, "
+        print(f"{label}: committed {committed:.2f}x, "
               f"measured {measured:.2f}x, floor {floor:.2f}x "
               f"[{'ok' if ok else 'REGRESSED'}]")
     if failed:
-        print(f"FAIL: search speedup regressed by more than "
-              f"{args.tolerance:.0%} vs the committed baseline "
-              f"({args.baseline}). If the slowdown is an accepted "
-              "trade-off, regenerate the baseline with `make bench-search` "
-              "and commit it alongside the change.", file=sys.stderr)
+        print(f"FAIL: speedup regressed by more than {tolerance:.0%} vs "
+              f"the committed baseline ({baseline_path}). If the slowdown "
+              "is an accepted trade-off, regenerate the baseline "
+              "(`make bench-search` / `make bench-kernel`) and commit it "
+              "alongside the change.", file=sys.stderr)
         return 1
-    print("search-acceleration trajectory ok")
+    print(f"trajectory ok ({baseline_path} vs {fresh_path})")
     return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", action="append", default=None,
+                        help="committed report; repeatable, pairs with the "
+                             f"matching --fresh (default: {DEFAULT_BASELINE})")
+    parser.add_argument("--fresh", action="append", required=True,
+                        help="report produced by this CI run; repeatable")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="max tolerated fractional speedup regression")
+    args = parser.parse_args(argv)
+
+    baselines = args.baseline or [str(DEFAULT_BASELINE)]
+    if len(baselines) != len(args.fresh):
+        print(f"check_search_trajectory: {len(baselines)} --baseline vs "
+              f"{len(args.fresh)} --fresh; pass one baseline per fresh "
+              "report", file=sys.stderr)
+        return 2
+
+    worst = 0
+    for baseline_path, fresh_path in zip(baselines, args.fresh):
+        worst = max(worst, check_pair(baseline_path, fresh_path,
+                                      args.tolerance))
+    return worst
 
 
 if __name__ == "__main__":

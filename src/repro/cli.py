@@ -110,6 +110,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         num_requests=args.trial_requests,
         stats=stats,
         workers=args.workers,
+        fast_kernel=not args.no_fast_kernel,
         **kwargs,
     )
     print(placement.describe())
@@ -450,6 +451,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "the placement found is identical either way)")
     plan.add_argument("--search-stats", action="store_true",
                       help="print cache hit rate, pruned configs and wall time")
+    plan.add_argument("--no-fast-kernel", action="store_true",
+                      help="force the per-step reference simulation path "
+                           "(the fast-forward kernel is bit-identical, so "
+                           "this only changes speed, never the placement)")
 
     serve = sub.add_parser("serve", help="simulate serving a trace")
     serve.add_argument("--model", default="opt-13b")

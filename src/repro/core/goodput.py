@@ -24,6 +24,14 @@ builds on both):
   callers interpose a memoizing cache (see
   :class:`repro.core.search.TrialCache`) without touching the search
   control flow.
+
+A third accelerator lives below this layer entirely: trials built by
+:func:`repro.core.simulate.phase_trial_setup` (and the joint factories
+of Algorithm 2) default to the fast-forward simulation kernel (DESIGN
+§4h) — macro-stepped decode runs and memoized batch latency inside the
+simulator. It is bit-identical to the per-step reference path, so this
+module never needs to know which one ran; ``fast_kernel=False`` threads
+through the same factories as an escape hatch.
 """
 
 from __future__ import annotations

@@ -63,6 +63,7 @@ def place_high_affinity(
     trial_cache: "TrialCache | None | bool" = None,
     prune: bool = True,
     early_abort: bool = True,
+    fast_kernel: bool = True,
 ) -> Placement:
     """Algorithm 1 of the paper.
 
@@ -90,6 +91,8 @@ def place_high_affinity(
             (result-preserving; see :mod:`repro.core.search`).
         early_abort: Stop individual trials once the attainment target
             is mathematically unreachable.
+        fast_kernel: Use the fast-forward simulation kernel for trials
+            (default on; results are bit-identical either way).
 
     Returns:
         The per-GPU-goodput-optimal placement.
@@ -166,6 +169,7 @@ def place_high_affinity(
                             make_phase_task(
                                 kind, spec, dataset, slo, attainment_target,
                                 num_requests, seed, cache, early_abort,
+                                fast_kernel,
                             )
                         )
                         slots.append((i, kind))

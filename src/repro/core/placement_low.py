@@ -128,6 +128,7 @@ def _unit_factory(
     cluster: Cluster,
     cand: IntraNodeConfig,
     sim: Simulation,
+    fast_kernel: bool = True,
 ) -> DisaggregatedSystem:
     gpu = cluster.gpu
     # Stage k of both phases shares node k, so pipeline activations cross
@@ -157,6 +158,7 @@ def _unit_factory(
         # stage pair (§4.2).
         transfer_link=cluster.intra_node_link,
         transfer_channels=cand.inter_op,
+        fast_kernel=fast_kernel,
     )
 
 
@@ -176,6 +178,7 @@ def place_low_affinity(
     trial_cache: "TrialCache | None | bool" = None,
     prune: bool = True,
     early_abort: bool = True,
+    fast_kernel: bool = True,
 ) -> Placement:
     """Algorithm 2 of the paper.
 
@@ -253,7 +256,7 @@ def place_low_affinity(
                 tasks.append(
                     make_phase_task(
                         kind, phase_spec(tp, pp), dataset, slo, attainment_target,
-                        num_requests, seed, cache, early_abort,
+                        num_requests, seed, cache, early_abort, fast_kernel,
                     )
                 )
                 slots.append(key)
@@ -291,9 +294,18 @@ def place_low_affinity(
                     if prune and best is not None and estimate <= best[0]:
                         st.configs_pruned += 1
                         continue
+                    # Fast-kernel-on binds no extra keyword so the trial
+                    # fingerprint (and any warm cache) is unchanged.
+                    factory = (
+                        partial(_unit_factory, model, cluster, cand)
+                        if fast_kernel
+                        else partial(
+                            _unit_factory, model, cluster, cand, fast_kernel=False
+                        )
+                    )
                     tasks.append(
                         make_joint_task(
-                            partial(_unit_factory, model, cluster, cand),
+                            factory,
                             dataset, slo, attainment_target,
                             num_requests, seed, JOINT_TRIAL_MIN_DURATION,
                             cache, early_abort,

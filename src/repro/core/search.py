@@ -353,6 +353,9 @@ class GoodputTask:
     context_fp: str
     seed_entries: "dict[float, TrialEntry]" = field(default_factory=dict)
     early_abort: bool = True
+    #: Fast-forward simulation kernel (bit-identical results; off routes
+    #: every trial through the per-step reference path).
+    fast_kernel: bool = True
 
 
 @dataclass
@@ -439,9 +442,10 @@ def make_phase_task(
     seed: int,
     cache: TrialCache,
     early_abort: bool = True,
+    fast_kernel: bool = True,
 ) -> GoodputTask:
     """A phase-level goodput search task (``simu_prefill``/``simu_decode``)."""
-    factory, trial_slo = phase_trial_setup(kind, spec, slo)
+    factory, trial_slo = phase_trial_setup(kind, spec, slo, fast_kernel=fast_kernel)
     fp = trial_context_fingerprint(
         factory, dataset, trial_slo, num_requests, seed, PHASE_TRIAL_MIN_DURATION
     )
@@ -450,6 +454,7 @@ def make_phase_task(
         attainment_target=attainment_target, num_requests=num_requests,
         seed=seed, min_duration=PHASE_TRIAL_MIN_DURATION,
         context_fp=fp, seed_entries=cache.snapshot(fp), early_abort=early_abort,
+        fast_kernel=fast_kernel,
     )
 
 
@@ -463,6 +468,7 @@ def make_joint_task(
     min_duration: float,
     cache: TrialCache,
     early_abort: bool = True,
+    fast_kernel: bool = True,
 ) -> GoodputTask:
     """A full-system goodput search task (Algorithm 2's joint simulation).
 
@@ -478,13 +484,16 @@ def make_joint_task(
         attainment_target=attainment_target, num_requests=num_requests,
         seed=seed, min_duration=min_duration,
         context_fp=fp, seed_entries=cache.snapshot(fp), early_abort=early_abort,
+        fast_kernel=fast_kernel,
     )
 
 
 def _execute_task(task: GoodputTask) -> GoodputTaskResult:
     """Run one goodput search (in-process or inside a pool worker)."""
     if task.kind in ("prefill", "decode"):
-        factory, trial_slo = phase_trial_setup(task.kind, task.payload, task.slo)
+        factory, trial_slo = phase_trial_setup(
+            task.kind, task.payload, task.slo, fast_kernel=task.fast_kernel
+        )
     elif task.kind == "joint":
         factory, trial_slo = task.payload, task.slo
     else:

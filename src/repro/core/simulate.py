@@ -35,31 +35,50 @@ _UNBOUNDED = 1e9
 PHASE_TRIAL_MIN_DURATION = 45.0
 
 
-def _prefill_factory(spec: InstanceSpec, sim: Simulation) -> PrefillOnlySystem:
-    return PrefillOnlySystem(sim, spec)
+def _prefill_factory(
+    spec: InstanceSpec, sim: Simulation, fast_kernel: bool = True
+) -> PrefillOnlySystem:
+    return PrefillOnlySystem(sim, spec, fast_kernel=fast_kernel)
 
 
-def _decode_factory(spec: InstanceSpec, sim: Simulation) -> DecodeOnlySystem:
-    return DecodeOnlySystem(sim, spec)
+def _decode_factory(
+    spec: InstanceSpec, sim: Simulation, fast_kernel: bool = True
+) -> DecodeOnlySystem:
+    return DecodeOnlySystem(sim, spec, fast_kernel=fast_kernel)
 
 
-def phase_trial_setup(kind: str, spec: InstanceSpec, slo: SLO):
+def phase_trial_setup(kind: str, spec: InstanceSpec, slo: SLO, fast_kernel: bool = True):
     """The (system factory, masked SLO) pair of one phase-level trial.
 
     The factory is a picklable ``functools.partial`` over module-level
     functions, so it can cross a process boundary and be fingerprinted
-    deterministically.
+    deterministically. The default (fast kernel on) binds no extra
+    keyword, so fingerprints — and therefore on-disk caches — are
+    unchanged from before the kernel existed; results are bit-identical
+    either way.
 
     Args:
         kind: ``"prefill"`` or ``"decode"``.
         spec: The candidate instance.
         slo: The full application SLO; the partner phase's bound is
             replaced by an unbounded value.
+        fast_kernel: Disable to force the per-step reference path (the
+            ``--no-fast-kernel`` escape hatch).
     """
     if kind == "prefill":
-        return partial(_prefill_factory, spec), SLO(ttft=slo.ttft, tpot=_UNBOUNDED)
+        factory = (
+            partial(_prefill_factory, spec)
+            if fast_kernel
+            else partial(_prefill_factory, spec, fast_kernel=False)
+        )
+        return factory, SLO(ttft=slo.ttft, tpot=_UNBOUNDED)
     if kind == "decode":
-        return partial(_decode_factory, spec), SLO(ttft=_UNBOUNDED, tpot=slo.tpot)
+        factory = (
+            partial(_decode_factory, spec)
+            if fast_kernel
+            else partial(_decode_factory, spec, fast_kernel=False)
+        )
+        return factory, SLO(ttft=_UNBOUNDED, tpot=slo.tpot)
     raise ValueError(f"unknown phase kind {kind!r}; expected 'prefill' or 'decode'")
 
 
@@ -72,9 +91,10 @@ def simu_prefill(
     seed: int = 0,
     trial_runner: "TrialRunner | None" = None,
     early_abort: bool = True,
+    fast_kernel: bool = True,
 ) -> GoodputResult:
     """Max rate one prefill instance sustains under the TTFT SLO alone."""
-    factory, phase_slo = phase_trial_setup("prefill", spec, slo)
+    factory, phase_slo = phase_trial_setup("prefill", spec, slo, fast_kernel=fast_kernel)
     return max_goodput(
         factory,
         dataset,
@@ -97,9 +117,10 @@ def simu_decode(
     seed: int = 0,
     trial_runner: "TrialRunner | None" = None,
     early_abort: bool = True,
+    fast_kernel: bool = True,
 ) -> GoodputResult:
     """Max rate one decode instance sustains under the TPOT SLO alone."""
-    factory, phase_slo = phase_trial_setup("decode", spec, slo)
+    factory, phase_slo = phase_trial_setup("decode", spec, slo, fast_kernel=fast_kernel)
     return max_goodput(
         factory,
         dataset,

@@ -17,6 +17,7 @@ from .parallel import (
     prefill_times,
     tp_allreduce_time_per_layer,
 )
+from .memo import DecodeStepTimer, PrefillBatchTimer
 from .mixed import mixed_batch_latency
 from .prefill import prefill_latency, prefill_throughput, saturation_length
 
@@ -38,6 +39,8 @@ __all__ = [
     "intra_op_speedup",
     "prefill_times",
     "tp_allreduce_time_per_layer",
+    "DecodeStepTimer",
+    "PrefillBatchTimer",
     "mixed_batch_latency",
     "prefill_latency",
     "prefill_throughput",

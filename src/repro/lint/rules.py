@@ -14,6 +14,7 @@ SIM001      ``Simulation.schedule(_at)`` calls not provably non-past
 SIM002      re-entrant scheduler mutation from callbacks
 PAR001      unpicklable objects handed to the parallel evaluator
 OBS001      comprehensions in profiler/metric per-event hot paths
+PERF001     ``sum()`` reductions reachable from the decode step loop
 ==========  ==========================================================
 
 Scoping is deliberate: rules only fire where the invariant actually
@@ -47,6 +48,7 @@ __all__ = [
     "ReentrantMutationRule",
     "PicklableTaskRule",
     "HotPathComprehensionRule",
+    "DecodeLoopSumRule",
 ]
 
 _Yield = Iterator[Tuple[ast.AST, str]]
@@ -733,3 +735,78 @@ class HotPathComprehensionRule(Rule):
                         "pass — precompute or loop without allocating "
                         "per call"
                     )
+
+
+# ----------------------------------------------------------------------
+# PERF001 — O(1) work per decode step
+# ----------------------------------------------------------------------
+
+#: Entry points of the decode step loop: the per-step reference path,
+#: the macro-run planner/finisher, and every helper the fast-forward
+#: kernel (DESIGN.md §4h) calls while a run is in flight. Anything these
+#: reach transitively runs once per decode step (or per macro run on a
+#: batch of B requests), so an O(B) ``sum(...)`` reduction there undoes
+#: the kernel's incremental bookkeeping.
+_DECODE_LOOP_ROOTS = frozenset({
+    "_run_step",
+    "_finish_step",
+    "_advance_decodes",
+    "_run_fast",
+    "_finish_fast_run",
+    "_materialize",
+    "_sync_to_now",
+    "_kv_safe_steps",
+})
+
+
+@register
+class DecodeLoopSumRule(Rule):
+    name = "PERF001"
+    summary = "no sum() reductions reachable from the decode step loop"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.module.startswith("repro.simulator")
+
+    def visit_Module(self, node: ast.Module, ctx: ModuleContext) -> _Yield:
+        # Pass 1: every function/method definition in the module, keyed
+        # by bare name (methods of different classes sharing a name are
+        # merged — an over-approximation that only widens the net).
+        defs: "dict[str, list[ast.AST]]" = {}
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defs.setdefault(sub.name, []).append(sub)
+        # Pass 2: reachability over the intra-module self-call graph,
+        # seeded from the decode-loop entry points defined here.
+        reachable: "set[str]" = set()
+        frontier = [name for name in _DECODE_LOOP_ROOTS if name in defs]
+        while frontier:
+            name = frontier.pop()
+            if name in reachable:
+                continue
+            reachable.add(name)
+            for fn in defs[name]:
+                for sub in ast.walk(fn):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    callee = call_tail(sub)
+                    if (
+                        callee is not None
+                        and callee in defs
+                        and callee not in reachable
+                    ):
+                        frontier.append(callee)
+        for name in sorted(reachable):
+            for fn in defs[name]:
+                for sub in ast.walk(fn):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Name)
+                        and sub.func.id == "sum"
+                    ):
+                        yield sub, (
+                            f"sum() in `{name}`, reachable from the "
+                            "decode step loop; this is O(batch) work "
+                            "per step — maintain the total "
+                            "incrementally or hoist it out of the loop "
+                            "(DESIGN.md §4h)"
+                        )

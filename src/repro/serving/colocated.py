@@ -39,6 +39,8 @@ class ColocatedSystem(ServingSystem):
         tracer: Optional lifecycle tracer, shared with every replica.
         profiler: Optional critical-path profiler, shared with every
             replica.
+        fast_kernel: Evaluate iteration latency through the memoized
+            timers (bit-identical results).
     """
 
     def __init__(
@@ -53,6 +55,7 @@ class ColocatedSystem(ServingSystem):
         rng: "np.random.Generator | None" = None,
         tracer: "Tracer | None" = None,
         profiler: "Profiler | None" = None,
+        fast_kernel: bool = True,
     ) -> None:
         super().__init__(sim, tracer=tracer, profiler=profiler)
         if num_replicas <= 0:
@@ -69,6 +72,7 @@ class ColocatedSystem(ServingSystem):
                 name=f"colocated-{i}",
                 tracer=tracer,
                 profiler=profiler,
+                fast_kernel=fast_kernel,
             )
             for i in range(num_replicas)
         ]

@@ -56,6 +56,9 @@ class DisaggregatedSystem(ServingSystem):
         profiler: Optional critical-path profiler, shared with every
             instance and the transfer engine; additionally receives
             blocked-on-transfer intervals per decode instance (pull mode).
+        fast_kernel: Enable the fast-forward simulation kernel on every
+            instance (bit-identical results; tracing/profiling forces
+            decode instances back to the per-step reference path).
     """
 
     def __init__(
@@ -72,6 +75,7 @@ class DisaggregatedSystem(ServingSystem):
         rng: "np.random.Generator | None" = None,
         tracer: "Tracer | None" = None,
         profiler: "Profiler | None" = None,
+        fast_kernel: bool = True,
     ) -> None:
         super().__init__(sim, tracer=tracer, profiler=profiler)
         if num_prefill <= 0 or num_decode <= 0:
@@ -94,6 +98,7 @@ class DisaggregatedSystem(ServingSystem):
             PrefillInstance(
                 sim, prefill_spec, on_prefill_done=self._on_prefill_done,
                 name=f"prefill-{i}", tracer=tracer, profiler=profiler,
+                fast_kernel=fast_kernel,
             )
             for i in range(num_prefill)
         ]
@@ -101,6 +106,7 @@ class DisaggregatedSystem(ServingSystem):
             DecodeInstance(
                 sim, decode_spec, on_request_done=self._on_decode_done,
                 name=f"decode-{i}", tracer=tracer, profiler=profiler,
+                fast_kernel=fast_kernel,
             )
             for i in range(num_decode)
         ]

@@ -39,13 +39,14 @@ class PrefillOnlySystem(ServingSystem):
         num_instances: int = 1,
         tracer: "Tracer | None" = None,
         profiler: "Profiler | None" = None,
+        fast_kernel: bool = True,
     ) -> None:
         super().__init__(sim, tracer=tracer, profiler=profiler)
         self.spec = spec
         self.instances = [
             PrefillInstance(
                 sim, spec, on_prefill_done=self._finish, name=f"prefill-{i}",
-                tracer=tracer, profiler=profiler,
+                tracer=tracer, profiler=profiler, fast_kernel=fast_kernel,
             )
             for i in range(num_instances)
         ]
@@ -65,15 +66,22 @@ class PrefillOnlySystem(ServingSystem):
         # remaining tokens are free — only TTFT is under test.
         for inst in self.instances:
             inst.release_kv(state.request_id)
-        while not state.is_finished:
-            state.record_token(self.sim.now)
-            self._trace.span(
-                state.request_id,
-                SpanKind.DECODE_STEP,
-                self.sim.now,
-                self.sim.now,
-                token_index=state.generated - 1,
-            )
+        if self._trace.enabled:
+            while not state.is_finished:
+                state.record_token(self.sim.now)
+                self._trace.span(
+                    state.request_id,
+                    SpanKind.DECODE_STEP,
+                    self.sim.now,
+                    self.sim.now,
+                    token_index=state.generated - 1,
+                )
+        else:
+            # Bulk-stamp the free tokens: one extend instead of an
+            # O(output_len) loop of property reads and span calls.
+            remaining = state.remaining_tokens
+            if remaining > 0:
+                state.record_tokens([self.sim.now] * remaining)
         self._complete(state)
 
     def num_gpus(self) -> int:
@@ -90,13 +98,14 @@ class DecodeOnlySystem(ServingSystem):
         num_instances: int = 1,
         tracer: "Tracer | None" = None,
         profiler: "Profiler | None" = None,
+        fast_kernel: bool = True,
     ) -> None:
         super().__init__(sim, tracer=tracer, profiler=profiler)
         self.spec = spec
         self.instances = [
             DecodeInstance(
                 sim, spec, on_request_done=self._complete, name=f"decode-{i}",
-                tracer=tracer, profiler=profiler,
+                tracer=tracer, profiler=profiler, fast_kernel=fast_kernel,
             )
             for i in range(num_instances)
         ]

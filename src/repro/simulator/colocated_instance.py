@@ -36,6 +36,7 @@ from .metrics import MetricsRegistry
 from .profiler import NULL_PROFILER, Profiler
 from .request import RequestPhase, RequestState
 from .tracing import NULL_TRACER, SpanKind, Tracer
+from ..latency.memo import DecodeStepTimer
 from ..latency.mixed import mixed_batch_latency
 from ..latency.parallel import decode_times, prefill_times
 
@@ -58,6 +59,9 @@ class ColocatedInstance:
         tracer: Optional lifecycle tracer receiving queue/exec/step spans.
         profiler: Optional critical-path profiler receiving one exec
             event per iteration, tagged by iteration kind.
+        fast_kernel: Evaluate pure-decode iteration latency through the
+            memoized O(1) timer (bit-identical to the reference path)
+            instead of re-materializing and re-summing context lists.
     """
 
     def __init__(
@@ -71,6 +75,7 @@ class ColocatedInstance:
         name: str = "colocated-0",
         tracer: "Tracer | None" = None,
         profiler: "Profiler | None" = None,
+        fast_kernel: bool = True,
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
@@ -96,6 +101,13 @@ class ColocatedInstance:
         self._trace = tracer if tracer is not None else NULL_TRACER
         self._prof = profiler if profiler is not None else NULL_PROFILER
         self._iterating = False
+        # Fast kernel: decode-iteration latency from the memoized timer
+        # and an incrementally maintained running-context total.
+        self._fast = bool(fast_kernel)
+        self._timer = DecodeStepTimer(
+            spec.model, spec.config, self._coeffs, spec.tp_link, spec.pp_link
+        )
+        self._running_context_tokens = 0
         # Instrumentation.
         self.prefill_iterations = 0
         self.decode_iterations = 0
@@ -249,16 +261,21 @@ class ColocatedInstance:
             )
             return
         if self._running:
-            contexts = [s.context_len for s in self._running]
-            times = decode_times(
-                self.spec.model,
-                self.spec.config,
-                self._coeffs,
-                contexts,
-                tp_link=self.spec.tp_link,
-                pp_link=self.spec.pp_link,
-            )
-            duration = times.request_latency * self._jitter()
+            if self._fast:
+                base = self._timer.request_latency(
+                    len(self._running), self._running_context_tokens
+                )
+            else:
+                contexts = [s.context_len for s in self._running]
+                base = decode_times(
+                    self.spec.model,
+                    self.spec.config,
+                    self._coeffs,
+                    contexts,
+                    tp_link=self.spec.tp_link,
+                    pp_link=self.spec.pp_link,
+                ).request_latency
+            duration = base * self._jitter()
             assert duration >= 0.0  # latency model + jitter are nonnegative
             self.decode_iterations += 1
             self.busy_time += duration
@@ -273,16 +290,21 @@ class ColocatedInstance:
     def _iteration_decode_priority(self) -> None:
         """Decode first; prompts wait until the running set drains."""
         if self._running:
-            contexts = [s.context_len for s in self._running]
-            times = decode_times(
-                self.spec.model,
-                self.spec.config,
-                self._coeffs,
-                contexts,
-                tp_link=self.spec.tp_link,
-                pp_link=self.spec.pp_link,
-            )
-            duration = times.request_latency * self._jitter()
+            if self._fast:
+                base = self._timer.request_latency(
+                    len(self._running), self._running_context_tokens
+                )
+            else:
+                contexts = [s.context_len for s in self._running]
+                base = decode_times(
+                    self.spec.model,
+                    self.spec.config,
+                    self._coeffs,
+                    contexts,
+                    tp_link=self.spec.tp_link,
+                    pp_link=self.spec.pp_link,
+                ).request_latency
+            duration = base * self._jitter()
             assert duration >= 0.0  # latency model + jitter are nonnegative
             self.decode_iterations += 1
             self.busy_time += duration
@@ -366,6 +388,7 @@ class ColocatedInstance:
             else:
                 self._running.append(state)
                 self._running_ids.add(state.request_id)
+                self._running_context_tokens += state.context_len
         self._run_iteration()
 
     def _finish_decode(
@@ -394,6 +417,7 @@ class ColocatedInstance:
             self._kv.append(state.request_id)
             state.record_token(self._sim.now)
             self.tokens_generated += 1
+            self._running_context_tokens += 1
             step_tokens += 1
             if self._trace.enabled:
                 self._trace.span(
@@ -410,6 +434,7 @@ class ColocatedInstance:
         for state in finished:
             self._running.remove(state)
             self._running_ids.discard(state.request_id)
+            self._running_context_tokens -= state.context_len
             self._kv.free(state.request_id)
             state.phase = RequestPhase.FINISHED
             self._on_done(state)
@@ -423,6 +448,7 @@ class ColocatedInstance:
                 continue
             self._running.pop(idx)
             self._running_ids.discard(victim.request_id)
+            self._running_context_tokens -= victim.context_len
             self._kv.free(victim.request_id)
             self._recompute_len[victim.request_id] = victim.context_len
             victim.phase = RequestPhase.WAITING_PREFILL
@@ -536,6 +562,7 @@ class ColocatedInstance:
             else:
                 self._running.append(state)
                 self._running_ids.add(state.request_id)
+                self._running_context_tokens += state.context_len
         step_tokens = self._advance_decodes(decode_batch, step_start)
         if self._prof.enabled:
             self._prof.record_exec(

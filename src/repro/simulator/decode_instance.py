@@ -15,10 +15,27 @@ Admission reserves the *full* final context (prompt + all output tokens)
 so a request admitted never runs out of KV mid-flight; this is the
 conservative no-preemption policy a disaggregated decode instance can
 afford because the prefill side buffers overflow (§4.3 pull policy).
+
+**Fast-forward kernel (DESIGN §4h).** When per-step observability is off
+(tracer and profiler are the NULL objects, no metrics registry attached)
+and ``fast_kernel`` is enabled, the instance *macro-steps*: instead of
+one heap event per decode step it plans the longest run of steps whose
+batch membership provably cannot change — bounded by the shortest
+remaining request, by KV-growth safety in optimistic-admission mode, and
+by the next pending simulation event — and schedules a single run-end
+event. Per-step boundaries, jitter draws, token times, KV growth, and
+counters are computed with the same floating-point operations in the
+same order as the step-by-step path, so results are bit-identical.
+Mid-run reads (the pull policy's :meth:`can_reserve`) first materialize
+every boundary strictly before the current virtual time, and a
+submission landing mid-run truncates the run at the next step boundary
+(where the per-step path would admit it), refunding unused jitter draws
+so the RNG stream stays aligned.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from collections import deque
 from typing import Callable, Deque
 
@@ -29,6 +46,7 @@ from .metrics import MetricsRegistry
 from .profiler import NULL_PROFILER, Profiler
 from .request import RequestPhase, RequestState
 from .tracing import NULL_TRACER, SpanKind, Tracer
+from ..latency.memo import DecodeStepTimer
 from ..latency.parallel import decode_times
 
 __all__ = ["DecodeInstance"]
@@ -50,6 +68,9 @@ class DecodeInstance:
         tracer: Optional lifecycle tracer receiving queue/step spans.
         profiler: Optional critical-path profiler receiving one exec
             event per decoding step.
+        fast_kernel: Allow macro-stepped runs when per-step observability
+            is off. Results are bit-identical either way; disabling
+            forces the one-event-per-step reference path.
     """
 
     def __init__(
@@ -61,6 +82,7 @@ class DecodeInstance:
         name: str = "decode-0",
         tracer: "Tracer | None" = None,
         profiler: "Profiler | None" = None,
+        fast_kernel: bool = True,
     ) -> None:
         self._sim = sim
         self.spec = spec
@@ -77,6 +99,36 @@ class DecodeInstance:
         self._prof = profiler if profiler is not None else NULL_PROFILER
         self._alive = True
         self._stepping = False
+        # Fast-forward kernel: active only when nothing observes
+        # individual steps (tracing/profiling emit per-step artifacts;
+        # instrument() samples live state through gauges).
+        self._fast = (
+            bool(fast_kernel)
+            and not self._trace.enabled
+            and not self._prof.enabled
+        )
+        self._timer = DecodeStepTimer(
+            spec.model, spec.config, self._coeffs, spec.tp_link, spec.pp_link
+        )
+        # With jitter_sigma == 0 the noise source is the stateless
+        # constant 1.0 (x * 1.0 is bitwise x), so macro-run planning may
+        # skip the draw calls without perturbing any stream position.
+        self._unit_jitter = spec.jitter_sigma == 0.0
+        # State of the in-flight macro run (empty when idle or slow).
+        self._run_batch: "list[RequestState]" = []
+        self._run_boundaries: "list[float]" = []
+        self._run_durations: "list[float]" = []
+        self._run_jitters: "list[float]" = []
+        self._run_cursor = 0
+        self._run_generation = 0
+        # Jitter draws refunded by a truncated run. The per-instance
+        # stream is positional (value depends only on draw index), so a
+        # draw planned for a dropped step is reused verbatim by whatever
+        # step executes at that position instead.
+        self._jitter_queue: "Deque[float]" = deque()
+        # Incrementally maintained total context length of the active
+        # set — the O(1) dispatch/telemetry signal (no per-step lists).
+        self._active_context_tokens = 0
         # Instrumentation.
         self.steps_executed = 0
         self.busy_time = 0.0
@@ -93,6 +145,22 @@ class DecodeInstance:
     def active_batch_size(self) -> int:
         return len(self._active)
 
+    @property
+    def active_tokens(self) -> int:
+        """Total context tokens of the active set, O(1) mid-run.
+
+        During a macro run the per-step state is not materialized; the
+        count of elapsed (but unmaterialized) step boundaries times the
+        batch size bridges the gap without touching per-request state.
+        """
+        extra = 0
+        if self._run_cursor < len(self._run_boundaries):
+            done = bisect_left(
+                self._run_boundaries, self._sim.now, self._run_cursor
+            )
+            extra = (done - self._run_cursor) * len(self._run_batch)
+        return self._active_context_tokens + extra
+
     def kv_capacity_tokens(self) -> int:
         return self._kv.total_blocks * self._kv.block_size
 
@@ -100,7 +168,13 @@ class DecodeInstance:
         return self._kv.free_blocks * self._kv.block_size
 
     def instrument(self, registry: MetricsRegistry) -> None:
-        """Register this instance's gauges/counters (callback-backed)."""
+        """Register this instance's gauges/counters (callback-backed).
+
+        Gauges sample live batch/KV/counter state, which a macro-stepped
+        run advances only in bulk — so instrumenting an instance routes
+        all subsequent runs through the exact per-step path.
+        """
+        self._fast = False
         labels = {"phase": "decode", "instance": self.name}
         registry.gauge(
             "repro_queue_depth", "Requests waiting for a batch slot",
@@ -109,6 +183,10 @@ class DecodeInstance:
         registry.gauge(
             "repro_batch_size", "Active continuous-batching set size",
             labels=labels, fn=lambda: len(self._active),
+        )
+        registry.gauge(
+            "repro_active_context_tokens", "Context tokens in the active set",
+            labels=labels, fn=lambda: self.active_tokens,
         )
         registry.gauge(
             "repro_kv_blocks_used", "KV-cache blocks allocated",
@@ -147,12 +225,14 @@ class DecodeInstance:
         is initiated only when this returns True. ``extra_blocks``
         accounts for reservations already promised to in-flight transfers.
         """
+        self._sync_to_now()
         need = self._reservation_tokens(state)
         need_blocks = -(-need // self._kv.block_size)
         return need_blocks + extra_blocks <= self._kv.free_blocks
 
     def reservation_blocks(self, state: RequestState) -> int:
         """Blocks a future admission of ``state`` will consume."""
+        self._sync_to_now()
         return -(-self._reservation_tokens(state) // self._kv.block_size)
 
     def _reservation_tokens(self, state: RequestState) -> int:
@@ -174,7 +254,38 @@ class DecodeInstance:
             state.request_id, SpanKind.DECODE_QUEUE, self._sim.now, self.name
         )
         self._waiting.append(state)
+        self._truncate_run()
         self._kick()
+
+    def _draw_jitter(self) -> float:
+        if self._jitter_queue:
+            return self._jitter_queue.popleft()
+        return self._jitter()
+
+    def _truncate_run(self) -> None:
+        """Shorten an in-flight macro run to the next step boundary.
+
+        A submission landing mid-run is admitted, in the per-step path,
+        when the step in flight completes. Keep boundaries up to the
+        first one strictly after now, refund the dropped steps' jitter
+        draws, and re-aim the run-end event (the stale one is voided by
+        the generation bump).
+        """
+        boundaries = self._run_boundaries
+        if self._run_cursor >= len(boundaries):
+            return
+        keep = bisect_right(boundaries, self._sim.now) + 1
+        if keep >= len(boundaries):
+            return
+        self._jitter_queue.extendleft(reversed(self._run_jitters[keep:]))
+        del boundaries[keep:]
+        del self._run_durations[keep:]
+        del self._run_jitters[keep:]
+        self._run_generation += 1
+        generation = self._run_generation
+        last = boundaries[-1]
+        assert last >= self._sim.now
+        self._sim.schedule_at(last, lambda: self._finish_fast_run(generation))
 
     # ------------------------------------------------------------------
     def _admit(self) -> None:
@@ -190,15 +301,24 @@ class DecodeInstance:
             self._trace.end(head.request_id, SpanKind.DECODE_QUEUE, self._sim.now)
             self._active.append(head)
             self._active_ids.add(head.request_id)
+            self._active_context_tokens += head.context_len
 
     def _kick(self) -> None:
         if self._stepping or not self._alive:
             return
+        self._stepping = True
+        self._continue()
+
+    def _continue(self) -> None:
+        """Admit and start the next step or macro run (or go idle)."""
         self._admit()
         if not self._active:
+            self._stepping = False
             return
-        self._stepping = True
-        self._run_step()
+        if self._fast:
+            self._run_fast()
+        else:
+            self._run_step()
 
     def _microbatch_contexts(self) -> "list[int]":
         """Context lengths of one steady-state micro-batch."""
@@ -206,6 +326,9 @@ class DecodeInstance:
         size = -(-len(self._active) // pp)
         return [s.context_len for s in self._active[:size]]
 
+    # ------------------------------------------------------------------
+    # Reference per-step path
+    # ------------------------------------------------------------------
     def _run_step(self) -> None:
         contexts = self._microbatch_contexts()
         times = decode_times(
@@ -216,7 +339,7 @@ class DecodeInstance:
             tp_link=self.spec.tp_link,
             pp_link=self.spec.pp_link,
         )
-        duration = times.request_latency * self._jitter()
+        duration = times.request_latency * self._draw_jitter()
         assert duration >= 0.0  # latency model + jitter are nonnegative
         self.steps_executed += 1
         self.busy_time += duration
@@ -244,6 +367,7 @@ class DecodeInstance:
                 self._kv.append(state.request_id)
             state.record_token(self._sim.now)
             self.tokens_generated += 1
+            self._active_context_tokens += 1
             step_tokens += 1
             if self._trace.enabled:
                 self._trace.span(
@@ -265,15 +389,181 @@ class DecodeInstance:
         for state in finished:
             self._active.remove(state)
             self._active_ids.discard(state.request_id)
+            self._active_context_tokens -= state.context_len
             self._kv.free(state.request_id)
             state.phase = RequestPhase.FINISHED
             self._on_done(state)
-        self._admit()
-        if self._active:
-            self._run_step()
-        else:
-            self._stepping = False
+        self._continue()
 
+    # ------------------------------------------------------------------
+    # Fast-forward kernel (macro-stepped runs)
+    # ------------------------------------------------------------------
+    def _kv_safe_steps(self, limit: int) -> int:
+        """Longest run with guaranteed KV growth (optimistic admission).
+
+        Largest ``j <= limit`` such that growing every active request by
+        ``j`` tokens fits the free block budget; through step ``j`` the
+        per-step path performs the exact same appends (cumulative need is
+        monotone and no blocks free mid-run), so it preempts nobody.
+        """
+        block_size = self._kv.block_size
+        free = self._kv.free_blocks
+        held = [self._kv.tokens_of(s.request_id) for s in self._active]
+
+        def extra_blocks(growth: int) -> int:
+            total = 0
+            for tokens in held:
+                total += (
+                    -(-(tokens + growth) // block_size) - (-(-tokens // block_size))
+                )
+            return total
+
+        if extra_blocks(limit) <= free:
+            return limit
+        lo, hi = 0, limit  # extra_blocks(0) == 0 <= free
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if extra_blocks(mid) <= free:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def _run_fast(self) -> None:
+        """Plan and schedule one macro run of decode steps.
+
+        The run length is bounded by (a) the shortest remaining request —
+        so nobody finishes mid-run, (b) KV-growth safety in optimistic
+        mode — so nobody is preempted mid-run, and (c) the next pending
+        event: a step is included only if it *starts* strictly before
+        that event fires, because anything firing earlier could enqueue
+        work the per-step path would admit at that step's boundary. The
+        first step may overshoot the horizon — it is in flight in the
+        per-step path too, and mid-flight events only enqueue.
+        """
+        active = self._active
+        max_steps = active[0].remaining_tokens
+        for state in active:
+            remaining = state.remaining_tokens
+            if remaining < max_steps:
+                max_steps = remaining
+        if not self._reserve_full:
+            max_steps = self._kv_safe_steps(max_steps)
+            if max_steps < 1:
+                # The very next step preempts: run it through the exact
+                # per-step path, which performs the real preemption.
+                self._run_step()
+                return
+        pp = self.spec.config.pp
+        mb_size = -(-len(active) // pp)
+        mb_context = 0
+        for state in active[:mb_size]:
+            mb_context += state.context_len
+        latency = self._timer.step_latency_fn(mb_size)
+        peek = self._sim.peek_time()
+        boundaries: "list[float]" = []
+        durations: "list[float]" = []
+        jitters: "list[float]" = []
+        t = self._sim.now
+        steps = 0
+        if self._unit_jitter:
+            # base * 1.0 is bitwise base; no stream position to advance.
+            while steps < max_steps:
+                if steps > 0 and peek is not None and t >= peek:
+                    break
+                duration = latency(mb_context)
+                assert duration >= 0.0  # latency model is nonnegative
+                t = t + duration
+                boundaries.append(t)
+                durations.append(duration)
+                jitters.append(1.0)
+                mb_context += mb_size
+                steps += 1
+        else:
+            while steps < max_steps:
+                if steps > 0 and peek is not None and t >= peek:
+                    break
+                noise = self._draw_jitter()
+                duration = latency(mb_context) * noise
+                assert duration >= 0.0  # latency model + jitter nonnegative
+                t = t + duration
+                boundaries.append(t)
+                durations.append(duration)
+                jitters.append(noise)
+                mb_context += mb_size
+                steps += 1
+        self._run_batch = list(active)
+        self._run_boundaries = boundaries
+        self._run_durations = durations
+        self._run_jitters = jitters
+        self._run_cursor = 0
+        generation = self._run_generation
+        last = boundaries[-1]
+        assert last >= self._sim.now
+        self._sim.schedule_at(last, lambda: self._finish_fast_run(generation))
+
+    def _materialize(self, upto: int) -> None:
+        """Advance run steps ``[cursor, upto)`` in bulk.
+
+        Counters accumulate per step in boundary order (preserving the
+        reference path's float-addition sequence); token times and KV
+        growth advance with one bulk operation per request, which is
+        value-identical to the per-step equivalents.
+        """
+        cursor = self._run_cursor
+        if upto <= cursor:
+            return
+        count = upto - cursor
+        durations = self._run_durations
+        for index in range(cursor, upto):
+            self.steps_executed += 1
+            self.busy_time += durations[index]
+        step_times = self._run_boundaries[cursor:upto]
+        batch = self._run_batch
+        grow_kv = not self._reserve_full
+        for state in batch:
+            if grow_kv:
+                self._kv.append(state.request_id, count)
+            state.record_tokens(step_times)
+        self.tokens_generated += count * len(batch)
+        self._active_context_tokens += count * len(batch)
+        self._run_cursor = upto
+
+    def _sync_to_now(self) -> None:
+        """Materialize every boundary strictly before the current time.
+
+        Boundaries exactly at ``now`` belong to the run-end event (which
+        fires after any event already pending when the run was planned —
+        matching the per-step event order at equal times).
+        """
+        if self._run_cursor >= len(self._run_boundaries):
+            return
+        done = bisect_left(self._run_boundaries, self._sim.now, self._run_cursor)
+        self._materialize(done)
+
+    def _finish_fast_run(self, generation: int) -> None:
+        if not self._alive or generation != self._run_generation:
+            return  # the instance failed mid-run; victims re-routed
+        self._materialize(len(self._run_boundaries))
+        finished: "list[RequestState]" = []
+        for state in self._run_batch:
+            if state.is_finished:
+                finished.append(state)
+        self._run_batch = []
+        self._run_boundaries = []
+        self._run_durations = []
+        self._run_jitters = []
+        self._run_cursor = 0
+        for state in finished:
+            self._active.remove(state)
+            self._active_ids.discard(state.request_id)
+            self._active_context_tokens -= state.context_len
+            self._kv.free(state.request_id)
+            state.phase = RequestPhase.FINISHED
+            self._on_done(state)
+        self._continue()
+
+    # ------------------------------------------------------------------
     @property
     def alive(self) -> bool:
         return self._alive
@@ -287,6 +577,19 @@ class DecodeInstance:
         *propagation* the paper warns about (§4.3): one decode failure
         creates a prefill load spike.
         """
+        if self._run_cursor < len(self._run_boundaries):
+            # Materialize completed steps, then charge the in-flight one:
+            # the per-step path charges counters at step start.
+            self._sync_to_now()
+            if self._run_cursor < len(self._run_boundaries):
+                self.steps_executed += 1
+                self.busy_time += self._run_durations[self._run_cursor]
+        self._run_generation += 1
+        self._run_batch = []
+        self._run_boundaries = []
+        self._run_durations = []
+        self._run_jitters = []
+        self._run_cursor = 0
         self._alive = False
         victims = list(self._active) + list(self._waiting)
         for state in victims:
@@ -295,6 +598,7 @@ class DecodeInstance:
         self._active.clear()
         self._active_ids.clear()
         self._waiting.clear()
+        self._active_context_tokens = 0
         self._stepping = False
         return victims
 
@@ -304,6 +608,7 @@ class DecodeInstance:
             return
         victim = self._active.pop()
         self._active_ids.discard(victim.request_id)
+        self._active_context_tokens -= victim.context_len
         self._kv.free(victim.request_id)
         victim.phase = RequestPhase.WAITING_DECODE
         self._trace.instant(

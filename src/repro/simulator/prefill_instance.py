@@ -32,7 +32,8 @@ from .metrics import MetricsRegistry
 from .profiler import NULL_PROFILER, Profiler
 from .request import RequestPhase, RequestState
 from .tracing import NULL_TRACER, SpanKind, Tracer
-from ..latency.parallel import ExecutionTimes, prefill_times
+from ..latency.memo import PrefillBatchTimer
+from ..latency.parallel import prefill_times
 from ..latency.prefill import saturation_length
 
 __all__ = ["PrefillInstance"]
@@ -59,6 +60,9 @@ class PrefillInstance:
         tracer: Optional lifecycle tracer receiving queue/exec spans.
         profiler: Optional critical-path profiler receiving one exec
             event per executed batch.
+        fast_kernel: Evaluate batch latency through the memoized
+            :class:`PrefillBatchTimer` (bit-identical to the reference
+            path, validation hoisted out of the scheduling loop).
     """
 
     def __init__(
@@ -72,6 +76,7 @@ class PrefillInstance:
         name: str = "prefill-0",
         tracer: "Tracer | None" = None,
         profiler: "Profiler | None" = None,
+        fast_kernel: bool = True,
     ) -> None:
         if queue_policy not in ("fcfs", "sjf"):
             raise ValueError(
@@ -96,6 +101,12 @@ class PrefillInstance:
         self._jitter = spec.make_jitter(name)
         self._trace = tracer if tracer is not None else NULL_TRACER
         self._prof = profiler if profiler is not None else NULL_PROFILER
+        # Memoized batch latency needs no observability gate: it defers
+        # no state, so spans/profiler events are unchanged either way.
+        self._fast = bool(fast_kernel)
+        self._timer = PrefillBatchTimer(
+            spec.model, spec.config, self._coeffs, spec.tp_link, spec.pp_link
+        )
         self._alive = True
         self._in_flight_states: "dict[int, RequestState]" = {}
         # Pipeline conveyor state.
@@ -251,29 +262,37 @@ class PrefillInstance:
         if not batch:
             # Head-of-line request cannot get KV space; retry on release.
             return
-        lens = [s.prefill_len for s in batch]
-        times = prefill_times(
-            self.spec.model,
-            self.spec.config,
-            self._coeffs,
-            lens,
-            tp_link=self.spec.tp_link,
-            pp_link=self.spec.pp_link,
-        )
+        if self._fast:
+            batch_tokens = 0
+            squared = 0
+            for state in batch:
+                length = state.prefill_len
+                batch_tokens += length
+                squared += length * length
+            base_request, base_stage = self._timer.times(batch_tokens, float(squared))
+        else:
+            lens = [s.prefill_len for s in batch]
+            ref = prefill_times(
+                self.spec.model,
+                self.spec.config,
+                self._coeffs,
+                lens,
+                tp_link=self.spec.tp_link,
+                pp_link=self.spec.pp_link,
+            )
+            base_request, base_stage = ref.request_latency, ref.stage_time
+            batch_tokens = sum(lens)
         start = self._sim.now
         noise = self._jitter()
-        times = ExecutionTimes(
-            request_latency=times.request_latency * noise,
-            stage_time=times.stage_time * noise,
-        )
+        request_latency = base_request * noise
+        stage_time = base_stage * noise
         # A batch behind a slower one inherits the slower cadence (bubble).
-        gap = max(times.stage_time, self._prev_stage_time)
+        gap = max(stage_time, self._prev_stage_time)
         self._next_admit_time = start + gap
-        self._prev_stage_time = times.stage_time
+        self._prev_stage_time = stage_time
         self._in_flight += 1
         self.batches_executed += 1
-        self.busy_time += times.stage_time
-        batch_tokens = sum(lens)
+        self.busy_time += stage_time
         self.tokens_prefilled += batch_tokens
         for state in batch:
             state.phase = RequestPhase.PREFILLING
@@ -287,8 +306,8 @@ class PrefillInstance:
                 batch_size=len(batch),
             )
             self._in_flight_states[state.request_id] = state
-        assert times.request_latency >= 0.0  # latency model is nonnegative
-        finish = start + times.request_latency
+        assert request_latency >= 0.0  # latency model + jitter are nonnegative
+        finish = start + request_latency
 
         def _complete() -> None:
             if not self._alive:

@@ -86,6 +86,21 @@ class RequestState:
         self.generated += 1
         self.token_times.append(time)
 
+    def record_tokens(self, times: "list[float]") -> None:
+        """Record completion of several output tokens at once.
+
+        Equivalent to calling :meth:`record_token` for each element of
+        ``times`` in order — the fast-forward kernel's bulk primitive.
+        """
+        count = len(times)
+        if self.generated + count > self.request.output_len:
+            raise RuntimeError(
+                f"request {self.request_id} cannot generate {count} more "
+                f"tokens past {self.generated}/{self.request.output_len}"
+            )
+        self.generated += count
+        self.token_times.extend(times)
+
     @property
     def is_finished(self) -> bool:
         return self.generated >= self.request.output_len

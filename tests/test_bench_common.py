@@ -67,3 +67,103 @@ class TestVLLMBaseline:
         assert gpus == VLLM_TP[model_name] * 2
         system = factory(Simulation())
         assert system.num_gpus() == gpus
+
+
+class TestTrajectoryChecker:
+    """The CI perf-trajectory guard generalizes across report shapes."""
+
+    @staticmethod
+    def _write(tmp_path, name, payload):
+        import json
+
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def _check(self, tmp_path, baseline, fresh, extra=()):
+        from benchmarks.check_search_trajectory import main
+
+        base = self._write(tmp_path, "base.json", baseline)
+        new = self._write(tmp_path, "fresh.json", fresh)
+        return main(["--baseline", base, "--fresh", new, *extra])
+
+    def test_search_shape_ok(self, tmp_path):
+        report = {
+            "placement_parity": True,
+            "runs": [{"workers": 1, "speedup_vs_baseline": 2.0}],
+        }
+        assert self._check(tmp_path, report, report) == 0
+
+    def test_kernel_shape_ok(self, tmp_path):
+        report = {
+            "record_parity": True,
+            "placement_parity": True,
+            "runs": [
+                {"scenario": "decode_heavy", "speedup_vs_baseline": 3.5},
+                {"scenario": "fig12_sweep", "speedup_vs_baseline": 2.0},
+            ],
+        }
+        assert self._check(tmp_path, report, report) == 0
+
+    def test_regression_fails(self, tmp_path):
+        base = {
+            "record_parity": True,
+            "runs": [{"scenario": "decode_heavy", "speedup_vs_baseline": 4.0}],
+        }
+        fresh = {
+            "record_parity": True,
+            "runs": [{"scenario": "decode_heavy", "speedup_vs_baseline": 2.0}],
+        }
+        assert self._check(tmp_path, base, fresh) == 1
+
+    def test_within_tolerance_passes(self, tmp_path):
+        base = {
+            "record_parity": True,
+            "runs": [{"scenario": "decode_heavy", "speedup_vs_baseline": 4.0}],
+        }
+        fresh = {
+            "record_parity": True,
+            "runs": [{"scenario": "decode_heavy", "speedup_vs_baseline": 3.5}],
+        }
+        assert self._check(tmp_path, base, fresh) == 0
+
+    def test_any_parity_flag_false_fails(self, tmp_path):
+        base = {
+            "record_parity": True,
+            "runs": [{"scenario": "decode_heavy", "speedup_vs_baseline": 3.0}],
+        }
+        fresh = dict(base, record_parity=False)
+        assert self._check(tmp_path, base, fresh) == 1
+
+    def test_multiple_pairs(self, tmp_path):
+        from benchmarks.check_search_trajectory import main
+
+        search = {
+            "placement_parity": True,
+            "runs": [{"workers": 1, "speedup_vs_baseline": 2.0}],
+        }
+        kernel = {
+            "record_parity": True,
+            "runs": [{"scenario": "decode_heavy", "speedup_vs_baseline": 3.0}],
+        }
+        s_base = self._write(tmp_path, "s_base.json", search)
+        s_new = self._write(tmp_path, "s_new.json", search)
+        k_base = self._write(tmp_path, "k_base.json", kernel)
+        k_new = self._write(tmp_path, "k_new.json",
+                            dict(kernel, runs=[{"scenario": "decode_heavy",
+                                                "speedup_vs_baseline": 1.0}]))
+        assert main(["--baseline", s_base, "--fresh", s_new,
+                     "--baseline", k_base, "--fresh", k_new]) == 1
+        assert main(["--baseline", s_base, "--fresh", s_new]) == 0
+
+    def test_mismatched_pair_counts(self, tmp_path):
+        from benchmarks.check_search_trajectory import main
+
+        report = {
+            "placement_parity": True,
+            "runs": [{"workers": 1, "speedup_vs_baseline": 2.0}],
+        }
+        base = self._write(tmp_path, "b.json", report)
+        new = self._write(tmp_path, "f.json", report)
+        assert main(["--baseline", base, "--baseline", base,
+                     "--fresh", new]) == 2

@@ -1,0 +1,364 @@
+"""Fast-forward kernel parity suite.
+
+The kernel (macro-stepped decode runs + memoized batch latency, see
+DESIGN.md §4h) promises *bitwise* equality with the per-step reference
+path. Every test here runs the same workload twice — ``fast_kernel=True``
+and ``fast_kernel=False`` — and asserts exact float equality on request
+records, token timestamps, and instance counters. No tolerances.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.hardware import A100_80GB, ETHERNET_25G
+from repro.latency import ParallelismConfig, coefficients_from_roofline
+from repro.latency.memo import DecodeStepTimer, PrefillBatchTimer
+from repro.latency.parallel import decode_times, prefill_times
+from repro.models.memory import compute_memory_budget
+from repro.serving import (
+    ColocatedSystem,
+    DecodeOnlySystem,
+    DisaggregatedSystem,
+    PrefillOnlySystem,
+    simulate_trace,
+)
+from repro.simulator import InstanceSpec, SimSanitizer, Simulation
+from repro.simulator.colocated_instance import POLICIES
+from repro.simulator.decode_instance import DecodeInstance
+from repro.simulator.metrics import MetricsRegistry
+from repro.simulator.request import Request, RequestPhase, RequestState
+from repro.simulator.tracing import Tracer
+from repro.workload import fixed_length_dataset, generate_trace
+from repro.workload.datasets import SyntheticDataset
+from repro.workload.distributions import LognormalLength
+
+
+# ----------------------------------------------------------------------
+# Memoized timers mirror the reference latency model bitwise.
+# ----------------------------------------------------------------------
+class TestMemoTimers:
+    @pytest.mark.parametrize("tp,pp", [(1, 1), (2, 1), (1, 2), (2, 2)])
+    def test_decode_timer_bitwise(self, tiny_model, tp, pp):
+        coeffs = coefficients_from_roofline(A100_80GB)
+        config = ParallelismConfig(tp, pp)
+        timer = DecodeStepTimer(tiny_model, config, coeffs)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            lens = [int(x) for x in rng.integers(1, 2000, rng.integers(1, 64))]
+            ref = decode_times(tiny_model, config, coeffs, lens).request_latency
+            got = timer.request_latency(len(lens), sum(lens))
+            assert got == ref  # bitwise, no tolerance
+
+    def test_step_latency_fn_matches_request_latency(self, tiny_model):
+        coeffs = coefficients_from_roofline(A100_80GB)
+        timer = DecodeStepTimer(tiny_model, ParallelismConfig(2, 2), coeffs)
+        for batch in (1, 3, 17):
+            fn = timer.step_latency_fn(batch)
+            for context in (batch, 100, 5000, 123456):
+                assert fn(context) == timer.request_latency(batch, context)
+
+    def test_decode_timer_empty_batch(self, tiny_model):
+        coeffs = coefficients_from_roofline(A100_80GB)
+        timer = DecodeStepTimer(tiny_model, ParallelismConfig(1, 1), coeffs)
+        assert timer.request_latency(0, 0) == 0.0
+        assert timer.step_latency_fn(0)(0) == 0.0
+
+    @pytest.mark.parametrize("tp,pp", [(1, 1), (2, 2)])
+    def test_prefill_timer_bitwise(self, tiny_model, tp, pp):
+        coeffs = coefficients_from_roofline(A100_80GB)
+        config = ParallelismConfig(tp, pp)
+        timer = PrefillBatchTimer(tiny_model, config, coeffs)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            lens = [int(x) for x in rng.integers(1, 1024, rng.integers(1, 16))]
+            ref = prefill_times(tiny_model, config, coeffs, lens)
+            total = sum(lens)
+            squared = 0.0
+            for length in lens:
+                squared += length * length
+            got_request, got_stage = timer.times(total, squared)
+            assert got_request == ref.request_latency
+            assert got_stage == ref.stage_time
+
+    def test_timer_validation_hoisted(self, tiny_model):
+        coeffs = coefficients_from_roofline(A100_80GB)
+        with pytest.raises(ValueError):
+            DecodeStepTimer(tiny_model, ParallelismConfig(3, 1), coeffs)
+        with pytest.raises(ValueError):
+            PrefillBatchTimer(tiny_model, ParallelismConfig(3, 1), coeffs)
+
+
+# ----------------------------------------------------------------------
+# System-level parity: identical records fast vs. slow.
+# ----------------------------------------------------------------------
+def _records(result):
+    return sorted(
+        (r.request_id, r.ttft, r.tpot, r.finish_time) for r in result.records
+    )
+
+
+def _parity(make_system, trace):
+    """Run ``trace`` fast and slow; assert bitwise-identical records."""
+    results = {}
+    for fast in (True, False):
+        sim = Simulation()
+        system = make_system(sim, fast)
+        results[fast] = simulate_trace(system, trace)
+    assert results[True].completed == results[False].completed
+    assert results[True].unfinished == results[False].unfinished
+    assert _records(results[True]) == _records(results[False])
+    return results[True]
+
+
+@pytest.fixture
+def trace(rng):
+    dataset = SyntheticDataset(
+        name="mix",
+        input_dist=LognormalLength(median=192.0, sigma=0.6, low=32, high=768),
+        output_dist=LognormalLength(median=24.0, sigma=0.7, low=4, high=128),
+    )
+    return generate_trace(dataset, rate=12.0, num_requests=120, rng=rng)
+
+
+class TestServingParity:
+    def test_decode_only(self, tiny_spec, trace):
+        res = _parity(
+            lambda sim, fast: DecodeOnlySystem(sim, tiny_spec, fast_kernel=fast),
+            trace,
+        )
+        assert res.completed == len(trace)
+
+    def test_prefill_only(self, tiny_spec, trace):
+        _parity(
+            lambda sim, fast: PrefillOnlySystem(sim, tiny_spec, fast_kernel=fast),
+            trace,
+        )
+
+    @pytest.mark.parametrize("mode", ["pull", "push"])
+    def test_disaggregated(self, tiny_spec, trace, mode):
+        res = _parity(
+            lambda sim, fast: DisaggregatedSystem(
+                sim, tiny_spec, tiny_spec, num_prefill=2, num_decode=2,
+                transfer_link=ETHERNET_25G, transfer_mode=mode,
+                fast_kernel=fast,
+            ),
+            trace,
+        )
+        assert res.completed == len(trace)
+
+    def test_disaggregated_jitter_and_pp(self, tiny_model, trace):
+        spec = InstanceSpec(
+            model=tiny_model, config=ParallelismConfig(1, 2), jitter_sigma=0.1
+        )
+        _parity(
+            lambda sim, fast: DisaggregatedSystem(
+                sim, spec, spec, fast_kernel=fast
+            ),
+            trace,
+        )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_colocated_policies(self, tiny_spec, trace, policy):
+        _parity(
+            lambda sim, fast: ColocatedSystem(
+                sim, tiny_spec, num_replicas=2, policy=policy, fast_kernel=fast
+            ),
+            trace,
+        )
+
+    def test_sanitizer_clean_fast_run(self, tiny_spec, trace):
+        sanitizer = SimSanitizer(strict=True)
+        sim = sanitizer.simulation()
+        system = DisaggregatedSystem(sim, tiny_spec, tiny_spec, fast_kernel=True)
+        sanitizer.watch_system(system)
+        res = simulate_trace(system, trace)
+        sanitizer.check_quiesce()
+        assert res.completed == len(trace)
+        assert sanitizer.violations == []
+
+
+# ----------------------------------------------------------------------
+# Decode-instance parity under preemption, jitter, and failures.
+# ----------------------------------------------------------------------
+def _small_gpu(model, target_tokens):
+    """A GPU sized so the decode KV pool holds ~``target_tokens``."""
+    lo, hi = 1, A100_80GB.memory_bytes
+    while lo < hi:
+        mid = (lo + hi) // 2
+        try:
+            cap = compute_memory_budget(model, mid, 1, 1).max_kv_tokens
+        except ValueError:
+            cap = -1
+        if cap < target_tokens:
+            lo = mid + 1
+        else:
+            hi = mid
+    return dataclasses.replace(A100_80GB, memory_bytes=lo)
+
+
+def _drive_decode(spec, fast, *, n=60, seed=7, reserve=True, fail_at=None):
+    """Feed ``n`` decode requests; return (records, counters, done-count)."""
+    rng = np.random.default_rng(seed)
+    sim = Simulation()
+    done = []
+    inst = DecodeInstance(
+        sim, spec, done.append, reserve_full_context=reserve, fast_kernel=fast
+    )
+    t = 0.0
+    for i in range(n):
+        t += float(rng.exponential(0.02))
+        req = Request(
+            request_id=i, arrival_time=t,
+            input_len=int(rng.integers(50, 400)),
+            output_len=int(rng.integers(20, 120)),
+        )
+
+        def submit(r=req):
+            state = RequestState(
+                request=r, phase=RequestPhase.WAITING_DECODE, generated=1
+            )
+            state.token_times.append(sim.now)
+            inst.submit(state)
+
+        sim.schedule_at(req.arrival_time, submit)
+    if fail_at is not None:
+        sim.schedule_at(fail_at, inst.fail)
+    sim.run()
+    records = sorted(
+        (s.request_id, s.generated, tuple(s.token_times)) for s in done
+    )
+    counters = (
+        inst.steps_executed,
+        inst.preemptions,
+        inst.tokens_generated,
+        inst.busy_time,
+    )
+    return records, counters, len(done)
+
+
+class TestDecodeInstanceParity:
+    def test_optimistic_admission_preempts_identically(self, tiny_model):
+        gpu = _small_gpu(tiny_model, 4000)
+        spec = InstanceSpec(
+            model=tiny_model, config=ParallelismConfig(1, 1), gpu=gpu
+        )
+        fast = _drive_decode(spec, True, reserve=False)
+        slow = _drive_decode(spec, False, reserve=False)
+        assert fast == slow
+        assert fast[1][1] > 0  # the scenario really exercises preemption
+
+    def test_reserved_admission_queues_identically(self, tiny_model):
+        gpu = _small_gpu(tiny_model, 4000)
+        spec = InstanceSpec(
+            model=tiny_model, config=ParallelismConfig(1, 1), gpu=gpu
+        )
+        fast = _drive_decode(spec, True, reserve=True)
+        slow = _drive_decode(spec, False, reserve=True)
+        assert fast == slow
+
+    def test_jitter_stream_identical(self, tiny_model):
+        spec = InstanceSpec(
+            model=tiny_model, config=ParallelismConfig(1, 1), jitter_sigma=0.08
+        )
+        assert _drive_decode(spec, True) == _drive_decode(spec, False)
+
+    def test_jitter_with_preemption(self, tiny_model):
+        gpu = _small_gpu(tiny_model, 4000)
+        spec = InstanceSpec(
+            model=tiny_model, config=ParallelismConfig(1, 1), gpu=gpu,
+            jitter_sigma=0.05,
+        )
+        fast = _drive_decode(spec, True, reserve=False)
+        slow = _drive_decode(spec, False, reserve=False)
+        assert fast == slow
+
+    def test_fail_mid_run_identical(self, tiny_spec):
+        fast = _drive_decode(tiny_spec, True, fail_at=0.25)
+        slow = _drive_decode(tiny_spec, False, fail_at=0.25)
+        assert fast == slow
+
+    def test_midstream_submit_truncates_run(self, tiny_spec):
+        """The regression scenario: an event scheduled *after* a macro run
+
+        was planned submits mid-run; the run must be truncated so the
+        newcomer is admitted at the same boundary the per-step path
+        would use.
+        """
+        results = {}
+        for fast in (True, False):
+            sim = Simulation()
+            done = []
+            inst = DecodeInstance(
+                sim, tiny_spec, lambda s: done.append(s.request_id),
+                fast_kernel=fast,
+            )
+            first = RequestState(
+                request=Request(request_id=0, arrival_time=0.0,
+                                input_len=100, output_len=50),
+                phase=RequestPhase.WAITING_DECODE, generated=1,
+            )
+            inst.submit(first)
+            second = RequestState(
+                request=Request(request_id=1, arrival_time=0.0,
+                                input_len=100, output_len=5),
+                phase=RequestPhase.WAITING_DECODE, generated=1,
+            )
+            sim.schedule(0.05, lambda: inst.submit(second))
+            sim.run()
+            results[fast] = (
+                done,
+                tuple(first.token_times),
+                tuple(second.token_times),
+            )
+        assert results[True] == results[False]
+        assert results[True][0] == [1, 0]  # short newcomer finishes first
+
+
+# ----------------------------------------------------------------------
+# Observability forces the exact per-step path.
+# ----------------------------------------------------------------------
+class TestObservabilityFallback:
+    def test_tracer_disables_fast_path(self, tiny_spec):
+        sim = Simulation()
+        tracer = Tracer()
+        inst = DecodeInstance(
+            sim, tiny_spec, lambda s: None, tracer=tracer, fast_kernel=True
+        )
+        assert not inst._fast
+
+    def test_instrument_disables_fast_path(self, tiny_spec):
+        sim = Simulation()
+        inst = DecodeInstance(sim, tiny_spec, lambda s: None, fast_kernel=True)
+        assert inst._fast
+        inst.instrument(MetricsRegistry())
+        assert not inst._fast
+
+    def test_flag_off_disables_fast_path(self, tiny_spec):
+        sim = Simulation()
+        inst = DecodeInstance(sim, tiny_spec, lambda s: None, fast_kernel=False)
+        assert not inst._fast
+
+
+# ----------------------------------------------------------------------
+# Goodput verdicts are unchanged.
+# ----------------------------------------------------------------------
+class TestGoodputParity:
+    def test_simu_decode_verdict_identical(self, tiny_spec):
+        from repro.core.simulate import simu_decode
+        from repro.workload.slos import SLO
+
+        dataset = fixed_length_dataset(256, 24)
+        slo = SLO(ttft=0.5, tpot=0.08)
+        fast = simu_decode(
+            tiny_spec, dataset, slo, num_requests=60, fast_kernel=True
+        )
+        slow = simu_decode(
+            tiny_spec, dataset, slo, num_requests=60, fast_kernel=False
+        )
+        assert fast.goodput == slow.goodput
+        assert fast.attainment_at_goodput == slow.attainment_at_goodput
+        assert fast.trials == slow.trials

@@ -537,6 +537,83 @@ class TestOBS001:
 
 
 # ----------------------------------------------------------------------
+# PERF001 — no sum() reachable from the decode step loop
+# ----------------------------------------------------------------------
+
+class TestPERF001:
+    def test_positive_sum_in_root(self):
+        findings = run("""
+            class Instance:
+                def _run_step(self):
+                    contexts = [s.context_len for s in self._active]
+                    return sum(contexts)
+        """, select=["PERF001"])
+        assert rules_of(findings) == ["PERF001"]
+
+    def test_positive_sum_in_transitive_callee(self):
+        findings = run("""
+            class Instance:
+                def _finish_step(self):
+                    self._report()
+
+                def _report(self):
+                    self._tally()
+
+                def _tally(self):
+                    return sum(s.tokens for s in self._active)
+        """, select=["PERF001"])
+        assert rules_of(findings) == ["PERF001"]
+
+    def test_positive_sum_in_nested_closure_of_root(self):
+        findings = run("""
+            class Instance:
+                def _kv_safe_steps(self, limit):
+                    def extra(growth):
+                        return sum(t + growth for t in self._held)
+                    return extra(limit)
+        """, select=["PERF001"])
+        assert rules_of(findings) == ["PERF001"]
+
+    def test_negative_sum_in_unreachable_function(self):
+        findings = run("""
+            class Instance:
+                def _run_step(self):
+                    self._count += 1
+
+                def summarize(self):
+                    return sum(self._latencies)
+        """, select=["PERF001"])
+        assert findings == []
+
+    def test_negative_explicit_loop_in_root(self):
+        findings = run("""
+            class Instance:
+                def _materialize(self, upto):
+                    total = 0
+                    for state in self._batch:
+                        total += state.tokens
+                    return total
+        """, select=["PERF001"])
+        assert findings == []
+
+    def test_negative_out_of_scope_module(self):
+        findings = run("""
+            def _run_step(batch):
+                return sum(b.tokens for b in batch)
+        """, module="repro.analysis.fixture", select=["PERF001"])
+        assert findings == []
+
+    def test_suppression(self):
+        findings = run("""
+            class Instance:
+                def _sync_to_now(self):
+                    # reprolint: disable=PERF001 -- cold failure branch
+                    return sum(self._pending)
+        """, select=["PERF001"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # Engine mechanics
 # ----------------------------------------------------------------------
 
@@ -616,7 +693,7 @@ class TestEngine:
     def test_rule_registry_complete(self):
         assert rule_names() == [
             "DET001", "DET002", "DET003", "DET004",
-            "OBS001", "PAR001", "SIM001", "SIM002",
+            "OBS001", "PAR001", "PERF001", "SIM001", "SIM002",
         ]
 
 
