@@ -383,7 +383,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.select:
         select = [part.strip() for part in args.select.split(",") if part.strip()]
     try:
-        engine = LintEngine(select=select)
+        engine = LintEngine(select=select, cache_dir=args.cache_dir or None)
     except ValueError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return EXIT_USAGE
@@ -393,11 +393,56 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         for name, cls in sorted(all_rules().items()):
             print(f"{name}  {cls.summary}")
         return EXIT_OK
+    if args.explain:
+        from .lint import all_rules
+        from .lint.sarif import rule_doc
+
+        registry = all_rules()
+        rule = args.explain.strip().upper()
+        if rule not in registry:
+            print(
+                f"repro lint: unknown rule {rule}; "
+                f"known: {', '.join(rule_names())}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        cls = registry[rule]
+        print(f"{rule} — {cls.summary}")
+        print()
+        print(rule_doc(cls))
+        return EXIT_OK
     if not args.paths:
         print("repro lint: no paths given (try: src tests)", file=sys.stderr)
         return EXIT_USAGE
     findings, checked = engine.lint_paths(args.paths)
-    if args.format == "json":
+    if args.baseline == "write":
+        from .lint.baseline import write_baseline
+
+        count = write_baseline(findings, args.baseline_file)
+        print(
+            f"repro lint: baseline written to {args.baseline_file} "
+            f"({count} entr{'y' if count == 1 else 'ies'})",
+            file=sys.stderr,
+        )
+        return EXIT_OK
+    if args.baseline == "check":
+        from .lint.baseline import filter_findings, load_baseline
+
+        known = load_baseline(args.baseline_file)
+        new = filter_findings(findings, known)
+        suppressed = len(findings) - len(new)
+        findings = new
+        if suppressed:
+            print(
+                f"repro lint: {suppressed} finding(s) covered by baseline "
+                f"{args.baseline_file}",
+                file=sys.stderr,
+            )
+    if args.format == "sarif":
+        from .lint.sarif import findings_to_sarif
+
+        sys.stdout.write(findings_to_sarif(findings))
+    elif args.format == "json":
         sys.stdout.write(findings_to_json(findings, checked))
     else:
         print(format_findings(findings))
@@ -571,11 +616,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("paths", nargs="*",
                       help="files or directories to lint (e.g. src tests)")
-    lint.add_argument("--format", choices=("human", "json"), default="human")
+    lint.add_argument("--format", choices=("human", "json", "sarif"),
+                      default="human")
     lint.add_argument("--select", default="",
                       help="comma-separated rule subset (e.g. DET001,SIM001)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the registered rules and exit")
+    lint.add_argument("--explain", default="", metavar="RULE",
+                      help="print a rule's rationale, example violation, "
+                           "and suppression syntax, then exit")
+    lint.add_argument("--baseline", choices=("write", "check"), default="",
+                      help="write: snapshot current findings; check: fail "
+                           "only on findings not in the snapshot")
+    lint.add_argument("--baseline-file", default="LINT_BASELINE.json",
+                      help="baseline snapshot path (default: "
+                           "LINT_BASELINE.json)")
+    lint.add_argument("--cache-dir", default="",
+                      help="directory for the call-graph disk cache, keyed "
+                           "on a source hash (e.g. .lint-cache)")
 
     analyze = sub.add_parser("analyze", help="latency-model analysis of a model")
     analyze.add_argument("--model", default="opt-13b")

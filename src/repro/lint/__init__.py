@@ -9,10 +9,17 @@ order-robust, events never fire in the virtual past, and objects
 crossing the process-pool boundary pickle by construction.
 
 :mod:`repro.lint` machine-checks those invariants over the AST so they
-stop being tribal knowledge. Run it via::
+stop being tribal knowledge. Since PR 7 the engine builds one
+whole-program call graph (:mod:`repro.lint.callgraph`) shared by every
+reachability rule, checks resource protocols interprocedurally
+(:mod:`repro.lint.typestate`: KV-block lifecycle TS001, transfer-handle
+protocol TS002), and infers unit dimensions (:mod:`repro.lint.units`:
+UNIT001, seconds-vs-ms-vs-tokens mixing). Run it via::
 
     python -m repro.cli lint src tests
     python -m repro.cli lint --format json --select DET001,SIM001 src
+    python -m repro.cli lint --explain TS001
+    python -m repro.cli lint --baseline check src tests
 
 Suppress a deliberate exception on the offending line (with a reason)::
 
@@ -30,10 +37,13 @@ from .engine import (
     format_findings,
     lint_paths,
     lint_source,
+    lint_sources,
     register,
     rule_names,
 )
 from . import rules as _rules  # noqa: F401  (imports register the rule pack)
+from . import typestate as _typestate  # noqa: F401  (registers TS001/TS002)
+from . import units as _units  # noqa: F401  (registers UNIT001)
 
 __all__ = [
     "Finding",
@@ -44,6 +54,7 @@ __all__ = [
     "format_findings",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "register",
     "rule_names",
 ]

@@ -1,0 +1,96 @@
+"""Findings baseline ratchet: land rules warn-only, tighten in CI.
+
+A baseline is a committed snapshot of known findings. ``--baseline
+write`` records the current findings; ``--baseline check`` fails only
+on findings *not* in the snapshot, so a new rule can ship before every
+pre-existing hit is fixed, while CI still blocks regressions. Shrink
+the file over time; an empty baseline is the steady state (and what
+this tree commits).
+
+Entries are keyed ``(rule, path, stripped source line text)`` rather
+than line *numbers*, so unrelated edits above a known finding don't
+churn the baseline. The trade-off: two identical offending lines in one
+file collapse into one entry — acceptable for a ratchet, which only
+ever needs to over-match the old findings, never under-match new ones.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Set, Tuple
+
+from .engine import Finding
+
+__all__ = [
+    "DEFAULT_BASELINE_FILE",
+    "filter_findings",
+    "load_baseline",
+    "write_baseline",
+]
+
+DEFAULT_BASELINE_FILE = "LINT_BASELINE.json"
+
+_Key = Tuple[str, str, str]
+
+
+def _normalize_path(path: str) -> str:
+    candidate = Path(path)
+    if candidate.is_absolute():
+        try:
+            candidate = candidate.relative_to(Path.cwd())
+        except ValueError:
+            pass
+    return candidate.as_posix()
+
+
+def _line_text(finding: Finding) -> str:
+    """Stripped source text at the finding's line ('' if unreadable)."""
+    try:
+        lines = Path(finding.path).read_text(encoding="utf-8").splitlines()
+    except OSError:
+        return ""
+    if 1 <= finding.line <= len(lines):
+        return lines[finding.line - 1].strip()
+    return ""
+
+
+def _key(finding: Finding) -> _Key:
+    return (finding.rule, _normalize_path(finding.path), _line_text(finding))
+
+
+def write_baseline(findings: Sequence[Finding], path: "str | Path") -> int:
+    """Snapshot findings to ``path``; returns the entry count."""
+    entries = sorted({_key(f) for f in findings})
+    payload = {
+        "tool": "reprolint-baseline",
+        "version": 1,
+        "entries": [
+            {"rule": rule, "path": rel_path, "text": text}
+            for rule, rel_path, text in entries
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    return len(entries)
+
+
+def load_baseline(path: "str | Path") -> "Set[_Key]":
+    """Load a baseline file; a missing file is an empty baseline."""
+    target = Path(path)
+    if not target.exists():
+        return set()
+    payload = json.loads(target.read_text(encoding="utf-8"))
+    entries = payload.get("entries", [])
+    return {
+        (str(e.get("rule", "")), str(e.get("path", "")), str(e.get("text", "")))
+        for e in entries
+    }
+
+
+def filter_findings(
+    findings: Sequence[Finding], baseline: "Set[_Key]"
+) -> "List[Finding]":
+    """Findings not covered by the baseline (the ones that fail CI)."""
+    return [f for f in findings if _key(f) not in baseline]

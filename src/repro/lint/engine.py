@@ -27,7 +27,10 @@ import json
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence, Tuple, Type
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence, Tuple, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .callgraph import ProjectGraph
 
 __all__ = [
     "Finding",
@@ -39,6 +42,7 @@ __all__ = [
     "format_findings",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "register",
     "rule_names",
 ]
@@ -128,6 +132,10 @@ class ModuleContext:
     #: Names of functions defined *inside* another function anywhere in
     #: the module (their qualnames contain ``<locals>`` — not picklable).
     nested_def_names: "set[str]" = field(default_factory=set)
+    #: Whole-program call graph over every file in this lint run (a
+    #: single-module graph when linting one source blob). Shared by all
+    #: reachability/typestate rules; None only for hand-built contexts.
+    project: "ProjectGraph | None" = None
 
     def parent(self) -> "ast.AST | None":
         """Parent of the node currently being visited."""
@@ -149,6 +157,33 @@ class ModuleContext:
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
                 seen_callable += 1
         return seen_callable >= 2
+
+    def scope_qualname(self) -> str:
+        """Project-graph qualname of the enclosing function scope.
+
+        Matches :mod:`repro.lint.callgraph` naming exactly:
+        ``module.Class.method``, ``module.func.inner`` for nested defs,
+        and ``module.<module>`` for module-level (or class-body-level)
+        code — lambdas attribute to their enclosing def, like the graph.
+        """
+        parts: "list[str]" = []
+        for node in self.stack[:-1]:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                parts.append(node.name)
+        # Trim a trailing run of class names: code directly in a class
+        # body executes at import time, which the graph attributes to
+        # the module pseudo-node.
+        defs = [
+            node
+            for node in self.stack[:-1]
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+        ]
+        while defs and isinstance(defs[-1], ast.ClassDef):
+            defs.pop()
+            parts.pop()
+        if not parts:
+            return f"{self.module}.<module>"
+        return f"{self.module}.{'.'.join(parts)}"
 
 
 # ----------------------------------------------------------------------
@@ -342,7 +377,11 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
 class LintEngine:
     """Configured lint run: selected rules over files or source text."""
 
-    def __init__(self, select: "Sequence[str] | None" = None) -> None:
+    def __init__(
+        self,
+        select: "Sequence[str] | None" = None,
+        cache_dir: "str | Path | None" = None,
+    ) -> None:
         registry = all_rules()
         if select:
             unknown = [name for name in select if name not in registry]
@@ -355,26 +394,67 @@ class LintEngine:
         else:
             names = sorted(registry)
         self.rules: "list[Rule]" = [registry[name]() for name in names]
+        self._cache_dir = cache_dir
 
     # ------------------------------------------------------------------
     def lint_source(
         self, source: str, path: str = "<string>", module: "str | None" = None
     ) -> "list[Finding]":
-        """Lint one blob of Python source."""
+        """Lint one blob of Python source (single-module call graph)."""
         if module is None:
             module = module_name_for(Path(path))
-        try:
-            tree = ast.parse(source, filename=path)
-        except SyntaxError as exc:
-            return [
-                Finding(
-                    path=path,
-                    line=exc.lineno or 0,
-                    col=exc.offset or 0,
-                    rule="E999",
-                    message=f"syntax error: {exc.msg}",
-                )
-            ]
+        return self.lint_sources({module: source}, paths={module: path})
+
+    def lint_sources(
+        self,
+        sources: "Mapping[str, str]",
+        paths: "Mapping[str, str] | None" = None,
+    ) -> "list[Finding]":
+        """Lint in-memory modules together, sharing one project graph.
+
+        ``sources`` maps dotted module names to source text; rules that
+        consume the call graph see edges *across* the given modules, so
+        cross-module fixtures are testable without touching disk.
+        """
+        from .callgraph import build_project
+
+        entries = [
+            (
+                module,
+                (paths or {}).get(module, f"<{module}>"),
+                sources[module],
+            )
+            for module in sorted(sources)
+        ]
+        project = build_project(entries, cache_dir=self._cache_dir)
+        findings: "list[Finding]" = []
+        for module, path, source in entries:
+            findings.extend(self._lint_one(source, path, module, project))
+        return sorted(findings)
+
+    def _lint_one(
+        self,
+        source: str,
+        path: str,
+        module: str,
+        project: "ProjectGraph | None",
+    ) -> "list[Finding]":
+        tree: "ast.Module | None" = None
+        if project is not None and project.module_paths.get(module) == path:
+            tree = project.trees.get(module)
+        if tree is None:
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError as exc:
+                return [
+                    Finding(
+                        path=path,
+                        line=exc.lineno or 0,
+                        col=exc.offset or 0,
+                        rule="E999",
+                        message=f"syntax error: {exc.msg}",
+                    )
+                ]
         lines = source.splitlines()
         ctx = ModuleContext(
             path=path,
@@ -382,6 +462,7 @@ class LintEngine:
             tree=tree,
             lines=lines,
             nested_def_names=_collect_nested_defs(tree),
+            project=project,
         )
         active = [rule for rule in self.rules if rule.applies_to(ctx)]
         walker = _Walker(active, ctx)
@@ -399,13 +480,28 @@ class LintEngine:
         return self.lint_source(source, path=str(path))
 
     def lint_paths(self, paths: Iterable[str]) -> "Tuple[list[Finding], int]":
-        """Lint files/directories; returns (findings, files_checked)."""
-        findings: "list[Finding]" = []
-        checked = 0
+        """Lint files/directories; returns (findings, files_checked).
+
+        All files are indexed into one shared project call graph before
+        any rule runs, so reachability/typestate rules see cross-module
+        edges. Parse trees are built once and reused by the rules.
+        """
+        from .callgraph import build_project
+
+        entries: "list[Tuple[str, str, str]]" = []
         for file_path in iter_python_files(paths):
-            checked += 1
-            findings.extend(self.lint_file(file_path))
-        return sorted(findings), checked
+            entries.append(
+                (
+                    module_name_for(file_path),
+                    str(file_path),
+                    file_path.read_text(encoding="utf-8"),
+                )
+            )
+        project = build_project(entries, cache_dir=self._cache_dir)
+        findings: "list[Finding]" = []
+        for module, path, source in entries:
+            findings.extend(self._lint_one(source, path, module, project))
+        return sorted(findings), len(entries)
 
 
 def _collect_nested_defs(tree: ast.Module) -> "set[str]":
@@ -438,6 +534,14 @@ def lint_source(
     select: "Sequence[str] | None" = None,
 ) -> "list[Finding]":
     return LintEngine(select=select).lint_source(source, path=path, module=module)
+
+
+def lint_sources(
+    sources: "Mapping[str, str]",
+    select: "Sequence[str] | None" = None,
+) -> "list[Finding]":
+    """Lint several in-memory modules against one shared call graph."""
+    return LintEngine(select=select).lint_sources(sources)
 
 
 def lint_paths(

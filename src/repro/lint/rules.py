@@ -27,7 +27,10 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import Iterator, Tuple
+from typing import TYPE_CHECKING, Iterator, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from .callgraph import FunctionNode, ProjectGraph
 
 from .engine import (
     ModuleContext,
@@ -82,6 +85,22 @@ _WALL_CLOCK = {
 
 @register
 class WallClockRule(Rule):
+    """No wall-clock reads inside ``repro.simulator`` / ``repro.core``.
+
+    Rationale:
+        The simulator's only clock is ``Simulation.now``. Any
+        ``time.time()`` / ``datetime.now()`` read that influences
+        simulation state makes golden traces, metrics exports, and cache
+        fingerprints differ run to run. Bare references passed as
+        callbacks (``key=time.time``) are flagged too.
+
+    Example violation:
+        started = time.time()   # DET001 (inside repro.simulator)
+
+    Suppression:
+        t = time.time()  # reprolint: disable=DET001 -- diagnostics only
+    """
+
     name = "DET001"
     summary = "no wall-clock reads inside repro.simulator / repro.core"
 
@@ -125,6 +144,23 @@ _NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox"}
 
 @register
 class UnseededRngRule(Rule):
+    """No module-level or unseeded ``random`` / ``numpy.random``.
+
+    Rationale:
+        Stdlib ``random`` and numpy's legacy global RNG are shared
+        process state: any import-order or call-order change reshuffles
+        every downstream draw. Randomness must be an explicitly seeded
+        ``np.random.default_rng(seed)`` Generator threaded through the
+        code that uses it, constructed inside a function (module-level
+        generators are shared mutable state).
+
+    Example violation:
+        rng = np.random.default_rng()   # DET002: no seed, OS entropy
+
+    Suppression:
+        import random  # reprolint: disable=DET002 -- CLI demo only
+    """
+
     name = "DET002"
     summary = "no module-level or unseeded random / numpy.random"
 
@@ -227,6 +263,23 @@ def _order_sink_in(body: "list[ast.stmt]") -> "ast.Call | None":
 
 @register
 class UnorderedIterationRule(Rule):
+    """No set/dict-view iteration feeding ordering-sensitive sinks.
+
+    Rationale:
+        Iterating a set (or, across interpreter versions, a dict view)
+        has no guaranteed stable order; feeding it into heap pushes,
+        event scheduling, hash updates, or writes makes the observable
+        result depend on hash seeding. Sort the iterable (or use an
+        insertion-ordered sequence) before it reaches the sink.
+
+    Example violation:
+        for req in pending_set:
+            heappush(heap, req)   # DET003
+
+    Suppression:
+        for x in s:  # reprolint: disable=DET003 -- singleton set
+    """
+
     name = "DET003"
     summary = "no set/dict-view iteration feeding ordering-sensitive sinks"
 
@@ -290,21 +343,66 @@ def _float_hinted(node: ast.expr) -> bool:
     return False
 
 
+def _is_hot_reporting_module(module: str) -> bool:
+    return module in _HOT_PATH_MODULES or module.startswith(_HOT_PATH_PREFIXES)
+
+
 @register
 class FloatSumRule(Rule):
+    """Float accumulation in hot reporting paths must use ``math.fsum``.
+
+    Rationale:
+        ``sum()`` of floats rounds left-to-right, so the total depends on
+        record order — which breaks byte-identical metrics exports and
+        trial-cache fingerprints. ``math.fsum`` is exactly rounded and
+        order-independent. Scope: repro.latency, repro.analysis
+        breakdown/percentiles, repro.core.goodput, plus any function
+        reachable from those modules through the project call graph
+        (helpers whose totals flow back into reports).
+
+    Example violation:
+        total = sum(r.exec_time for r in records)   # DET004
+
+    Suppression:
+        total = sum(xs)  # reprolint: disable=DET004 -- ints only, exact
+    """
+
     name = "DET004"
     summary = "float accumulation in hot paths must use math.fsum"
 
+    def __init__(self) -> None:
+        self._reach: "dict[int, frozenset[str]]" = {}
+
     def applies_to(self, ctx: ModuleContext) -> bool:
-        return (
-            ctx.module in _HOT_PATH_MODULES
-            or ctx.module.startswith(_HOT_PATH_PREFIXES)
-        )
+        return ctx.module.startswith("repro.")
+
+    def _reachable(self, project: "ProjectGraph") -> "frozenset[str]":
+        key = id(project)
+        cached = self._reach.get(key)
+        if cached is None:
+            seeds = [
+                qualname
+                for qualname, fn in project.functions.items()
+                if _is_hot_reporting_module(fn.module)
+            ]
+            cached = project.reachable_from(seeds)
+            self._reach[key] = cached
+        return cached
+
+    def _in_scope(self, ctx: ModuleContext) -> bool:
+        if _is_hot_reporting_module(ctx.module):
+            return True
+        # Cross-module: a helper elsewhere whose sum feeds a hot module.
+        if ctx.project is None:
+            return False
+        return ctx.scope_qualname() in self._reachable(ctx.project)
 
     def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> _Yield:
         if not (isinstance(node.func, ast.Name) and node.func.id == "sum"):
             return
         if not node.args:
+            return
+        if not self._in_scope(ctx):
             return
         arg = node.args[0]
         if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
@@ -470,6 +568,23 @@ class _Prover:
 
 @register
 class NonPastScheduleRule(Rule):
+    """``Simulation.schedule`` calls must be provably non-past.
+
+    Rationale:
+        Scheduling an event in the virtual past corrupts the event-loop
+        invariant that time is monotone. A tiny structural prover checks
+        that ``schedule(delay)`` delays are constants/max()/len()-shaped
+        non-negatives (or covered by a dominating ``assert delay >= 0``)
+        and that ``schedule_at(t)`` times are ``max(now, ...)``-shaped
+        (or asserted ``>= sim.now``).
+
+    Example violation:
+        sim.schedule(d, cb)   # SIM001: d not provably >= 0
+
+    Suppression:
+        sim.schedule(d, cb)  # reprolint: disable=SIM001 -- d validated upstream
+    """
+
     name = "SIM001"
     summary = "Simulation.schedule calls must be provably non-past"
 
@@ -537,6 +652,23 @@ def _impure_call_in(body: ast.AST) -> "ast.Call | None":
 
 @register
 class ReentrantMutationRule(Rule):
+    """Metric callbacks and handlers must not mutate scheduler state.
+
+    Rationale:
+        Metric read callbacks run during collection passes, in the
+        middle of event processing; if one schedules events, mutates
+        containers, or re-enters ``Simulation.run``, replay determinism
+        breaks in ways that depend on when collection happened. Read
+        callbacks must be pure; event callbacks schedule follow-ups
+        instead of calling ``run`` re-entrantly.
+
+    Example violation:
+        registry.gauge("depth", "d", fn=lambda: self.q.pop())   # SIM002
+
+    Suppression:
+        fn=lambda: drain()  # reprolint: disable=SIM002 -- drain is read-only
+    """
+
     name = "SIM002"
     summary = "metric callbacks and handlers must not mutate scheduler state"
 
@@ -606,6 +738,22 @@ _EVALUATOR_RECEIVERS = {"evaluator", "_evaluator", "pool", "_pool"}
 
 @register
 class PicklableTaskRule(Rule):
+    """Parallel-evaluator tasks must be picklable by construction.
+
+    Rationale:
+        Arguments to ``GoodputTask`` / ``make_phase_task`` /
+        ``evaluator.run|map|submit`` cross the process-pool boundary and
+        must pickle. Lambdas and functions defined inside another
+        function never do — the failure surfaces only when the parallel
+        path is exercised, so it is caught statically instead.
+
+    Example violation:
+        evaluator.run([lambda: simulate(cfg)])   # PAR001
+
+    Suppression:
+        pool.submit(fn)  # reprolint: disable=PAR001 -- thread pool, no pickle
+    """
+
     name = "PAR001"
     summary = "parallel-evaluator tasks must be picklable by construction"
 
@@ -680,38 +828,105 @@ def _is_hot_event_method(name: str) -> bool:
     return name in _HOT_EVENT_METHODS or name.startswith("record")
 
 
+def _own_body(fn: ast.AST, include_lambdas: bool) -> "Iterator[ast.AST]":
+    """Walk a function body without descending into nested defs.
+
+    Nested defs are separate call-graph nodes judged by their own
+    reachability; lambdas have no node of their own, so callers choose
+    whether to attribute them to the enclosing function.
+    """
+    stack: "list[ast.AST]" = list(ast.iter_child_nodes(fn))
+    while stack:
+        sub = stack.pop()
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(sub, ast.Lambda) and not include_lambdas:
+            continue
+        stack.extend(ast.iter_child_nodes(sub))
+        yield sub
+
+
 @register
 class HotPathComprehensionRule(Rule):
+    """No comprehensions in profiler/metric per-event hot paths.
+
+    Rationale:
+        Per-event observability entry points (``record*``, ``span``,
+        ``observe``, ``inc``, ...) run 10^5-10^6 times per trace; a
+        comprehension allocates a fresh container every call, which is
+        measurable against the <5% profiler-overhead budget. The rule
+        flags comprehensions in those methods *and* in every function
+        the project call graph shows they reach — a helper in another
+        module called from ``record_exec`` is just as hot. Metric read
+        callbacks (``fn=lambda: ...`` and callables handed to
+        counter/gauge/histogram/register) are hot for the same reason.
+
+    Example violation:
+        def record_exec(self, batch):
+            self.events.append([r.id for r in batch])   # OBS001
+
+    Suppression:
+        xs = [f(e) for e in evs]  # reprolint: disable=OBS001 -- cold branch
+    """
+
     name = "OBS001"
     summary = "no comprehensions in profiler/metric per-event hot paths"
 
-    def applies_to(self, ctx: ModuleContext) -> bool:
-        return ctx.module.startswith(("repro.simulator", "repro.serving"))
+    def __init__(self) -> None:
+        self._reach: "dict[int, frozenset[str]]" = {}
 
-    def visit_FunctionDef(self, node: ast.FunctionDef, ctx: ModuleContext) -> _Yield:
-        if not _is_hot_event_method(node.name):
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.module.startswith("repro.")
+
+    @staticmethod
+    def _is_seed(fn: "FunctionNode") -> bool:
+        return (
+            fn.cls is not None
+            and _is_hot_event_method(fn.name)
+            and fn.module.startswith(("repro.simulator", "repro.serving"))
+        )
+
+    def _reachable(self, project: "ProjectGraph") -> "frozenset[str]":
+        key = id(project)
+        cached = self._reach.get(key)
+        if cached is None:
+            seeds = [
+                qualname
+                for qualname, fn in project.functions.items()
+                if self._is_seed(fn)
+            ]
+            # Callables registered as metric read callbacks run on every
+            # collection pass — same budget as the record methods.
+            seeds.extend(
+                arg.callee
+                for arg in project.callable_args
+                if arg.sink in _CALLBACK_SINKS
+            )
+            cached = project.reachable_from(seeds)
+            self._reach[key] = cached
+        return cached
+
+    def visit_Module(self, node: ast.Module, ctx: ModuleContext) -> _Yield:
+        project = ctx.project
+        if project is None:
             return
-        # Only methods: free functions named `set`/`inc`/... are not the
-        # per-event entry points this rule is scoped to.
-        if not isinstance(ctx.parent(), ast.ClassDef):
-            return
-        # Walk the method body without descending into nested defs or
-        # lambdas — those are deferred callbacks, judged by their own
-        # names, not part of the per-event path.
-        stack: "list[ast.AST]" = list(ast.iter_child_nodes(node))
-        while stack:
-            sub = stack.pop()
-            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        hot = self._reachable(project)
+        for fn in project.functions_in_module(ctx.module):
+            if fn.qualname not in hot or fn.node is None:
                 continue
-            stack.extend(ast.iter_child_nodes(sub))
-            if isinstance(sub, _COMPREHENSIONS):
-                yield sub, (
-                    f"{_COMP_LABEL[type(sub)]} in per-event hot path "
-                    f"`{node.name}`; this runs once per span/metric/"
-                    "profiler event — append plain tuples or use an "
-                    "explicit loop instead of allocating a fresh "
-                    "container per call"
-                )
+            where = (
+                f"per-event hot path `{fn.name}`"
+                if self._is_seed(fn)
+                else f"`{fn.name}`, reachable from a per-event hot path"
+            )
+            for sub in _own_body(fn.node, include_lambdas=False):
+                if isinstance(sub, _COMPREHENSIONS):
+                    yield sub, (
+                        f"{_COMP_LABEL[type(sub)]} in {where}; this runs "
+                        "once per span/metric/profiler event — append "
+                        "plain tuples or use an explicit loop instead of "
+                        "allocating a fresh container per call"
+                    )
 
     def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> _Yield:
         # Metric read callbacks (`fn=lambda: ...`) run on every
@@ -761,52 +976,67 @@ _DECODE_LOOP_ROOTS = frozenset({
 
 @register
 class DecodeLoopSumRule(Rule):
+    """No ``sum()`` reductions reachable from the decode step loop.
+
+    Rationale:
+        The decode step loop (``_run_step`` and the fast-forward kernel
+        helpers, DESIGN.md §4h) runs once per decode step; an O(batch)
+        ``sum(...)`` there undoes the kernel's incremental bookkeeping.
+        Reachability is computed on the whole-program call graph, so a
+        sum in ``repro.latency`` called from ``_run_step`` is flagged
+        even though it lives outside the simulator package.
+
+    Example violation:
+        def _run_step(self):
+            return sum(s.context_len for s in self._active)   # PERF001
+
+    Suppression:
+        t = sum(xs)  # reprolint: disable=PERF001 -- cold failure branch
+    """
+
     name = "PERF001"
     summary = "no sum() reductions reachable from the decode step loop"
 
+    def __init__(self) -> None:
+        self._reach: "dict[int, frozenset[str]]" = {}
+
     def applies_to(self, ctx: ModuleContext) -> bool:
-        return ctx.module.startswith("repro.simulator")
+        return ctx.module.startswith("repro.")
+
+    def _reachable(self, project: "ProjectGraph") -> "frozenset[str]":
+        key = id(project)
+        cached = self._reach.get(key)
+        if cached is None:
+            seeds = [
+                qualname
+                for qualname, fn in project.functions.items()
+                if fn.name in _DECODE_LOOP_ROOTS
+                and fn.module.startswith("repro.simulator")
+            ]
+            cached = project.reachable_from(seeds)
+            self._reach[key] = cached
+        return cached
 
     def visit_Module(self, node: ast.Module, ctx: ModuleContext) -> _Yield:
-        # Pass 1: every function/method definition in the module, keyed
-        # by bare name (methods of different classes sharing a name are
-        # merged — an over-approximation that only widens the net).
-        defs: "dict[str, list[ast.AST]]" = {}
-        for sub in ast.walk(node):
-            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                defs.setdefault(sub.name, []).append(sub)
-        # Pass 2: reachability over the intra-module self-call graph,
-        # seeded from the decode-loop entry points defined here.
-        reachable: "set[str]" = set()
-        frontier = [name for name in _DECODE_LOOP_ROOTS if name in defs]
-        while frontier:
-            name = frontier.pop()
-            if name in reachable:
+        project = ctx.project
+        if project is None:
+            return
+        reachable = self._reachable(project)
+        for fn in project.functions_in_module(ctx.module):
+            if fn.qualname not in reachable or fn.node is None:
                 continue
-            reachable.add(name)
-            for fn in defs[name]:
-                for sub in ast.walk(fn):
-                    if not isinstance(sub, ast.Call):
-                        continue
-                    callee = call_tail(sub)
-                    if (
-                        callee is not None
-                        and callee in defs
-                        and callee not in reachable
-                    ):
-                        frontier.append(callee)
-        for name in sorted(reachable):
-            for fn in defs[name]:
-                for sub in ast.walk(fn):
-                    if (
-                        isinstance(sub, ast.Call)
-                        and isinstance(sub.func, ast.Name)
-                        and sub.func.id == "sum"
-                    ):
-                        yield sub, (
-                            f"sum() in `{name}`, reachable from the "
-                            "decode step loop; this is O(batch) work "
-                            "per step — maintain the total "
-                            "incrementally or hoist it out of the loop "
-                            "(DESIGN.md §4h)"
-                        )
+            # Lambdas run inline on the step path, so they count as part
+            # of the enclosing function; nested defs are their own nodes.
+            for sub in _own_body(fn.node, include_lambdas=True):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and sub.func.id == "sum"
+                ):
+                    yield sub, (
+                        f"sum() in `{fn.name}`, reachable from the "
+                        "decode step loop; this is O(batch) work "
+                        "per step — maintain the total "
+                        "incrementally or hoist it out of the loop "
+                        "(DESIGN.md §4h)"
+                    )

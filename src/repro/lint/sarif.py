@@ -1,0 +1,104 @@
+"""SARIF 2.1.0 export for reprolint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests; uploading the lint job's output surfaces findings as
+inline PR annotations. The export is deterministic — rules sorted by
+id, results in engine order (already sorted), no timestamps or absolute
+paths — so the artifact is diffable and cache-friendly.
+
+Rule metadata comes from the rule classes themselves: ``summary`` is
+the ``shortDescription`` and the class docstring (rationale / example /
+suppression) is the ``help`` text, so ``--format sarif`` and
+``--explain`` can never drift apart.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+from pathlib import Path
+from typing import Sequence, Type
+
+from .engine import Finding, Rule, all_rules
+
+__all__ = ["findings_to_sarif", "rule_doc"]
+
+_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+_INFO_URI = "https://example.invalid/reprolint"  # placeholder, no network
+
+
+def rule_doc(rule_cls: Type[Rule]) -> str:
+    """Cleaned docstring of a rule class (rationale/example/suppression)."""
+    doc = inspect.getdoc(rule_cls)
+    return doc.strip() if doc else rule_cls.summary
+
+
+def _rule_descriptor(rule_cls: Type[Rule]) -> "dict[str, object]":
+    return {
+        "id": rule_cls.name,
+        "name": rule_cls.__name__,
+        "shortDescription": {"text": rule_cls.summary},
+        "help": {"text": rule_doc(rule_cls)},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _artifact_uri(path: str) -> str:
+    candidate = Path(path)
+    if candidate.is_absolute():
+        try:
+            candidate = candidate.relative_to(Path.cwd())
+        except ValueError:
+            pass
+    return candidate.as_posix()
+
+
+def _result(finding: Finding, rule_index: "dict[str, int]") -> "dict[str, object]":
+    return {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index.get(finding.rule, -1),
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": _artifact_uri(finding.path)},
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        # SARIF columns are 1-based; ast's are 0-based.
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def findings_to_sarif(findings: Sequence[Finding]) -> str:
+    """Serialize findings as a SARIF 2.1.0 document (deterministic)."""
+    registry = all_rules()
+    rule_ids = sorted(registry)
+    rule_index = {rule_id: idx for idx, rule_id in enumerate(rule_ids)}
+    # E999 (syntax error) is emitted by the engine, not a registered rule.
+    descriptors: "list[dict[str, object]]" = [
+        _rule_descriptor(registry[rule_id]) for rule_id in rule_ids
+    ]
+    document = {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": _INFO_URI,
+                        "rules": descriptors,
+                    }
+                },
+                "results": [
+                    _result(finding, rule_index) for finding in sorted(findings)
+                ],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2) + "\n"

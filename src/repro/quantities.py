@@ -1,0 +1,51 @@
+"""Unit-dimension annotation aliases, understood by reprolint UNIT001.
+
+All latency/goodput math in this tree is plain ``float``/``int``; these
+aliases add zero runtime cost but *pin* a dimension for the linter's
+unit analysis (:mod:`repro.lint.units`), overriding whatever the
+parameter name would otherwise suggest. Annotate boundary signatures —
+anything crossing a module boundary where ms-vs-s or tokens-vs-blocks
+confusion is plausible::
+
+    from repro.quantities import Seconds, Blocks
+
+    def transfer_time(self, blocks: Blocks) -> Seconds: ...
+
+UNIT001 then flags ``blocks + elapsed_s`` (blocks plus seconds) or a
+``deadline_ms < timeout`` comparison (milliseconds vs seconds) at lint
+time. Names without a recognizable dimension stay unchecked, so
+annotating is opt-in tightening, never noise.
+
+The simulator's convention is SI end to end: **seconds** for every
+time quantity (never ms), counts as plain ints, bytes as float (so
+fractional KB/MB math stays exact enough for link models).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Seconds",
+    "Milliseconds",
+    "Tokens",
+    "Blocks",
+    "Bytes",
+    "Requests",
+]
+
+#: Wall/virtual time in SI seconds — the tree-wide convention.
+Seconds = float
+
+#: Milliseconds; only at user-facing boundaries (SLO configs, reports).
+Milliseconds = float
+
+#: Token counts (prompt or generated).
+Tokens = int
+
+#: KV-cache block counts.
+Blocks = int
+
+#: Byte counts; float so bandwidth math keeps sub-byte precision.
+Bytes = float
+
+#: Request counts.
+Requests = int

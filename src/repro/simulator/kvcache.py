@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..quantities import Blocks, Tokens
+
 __all__ = ["KVBlockManager", "OutOfBlocksError"]
 
 
@@ -19,7 +21,7 @@ class OutOfBlocksError(RuntimeError):
     """Raised when an allocation exceeds the remaining block budget."""
 
 
-def blocks_needed(num_tokens: int, block_size: int) -> int:
+def blocks_needed(num_tokens: Tokens, block_size: int) -> Blocks:
     """Blocks required to hold ``num_tokens`` token slots."""
     return -(-num_tokens // block_size)
 
@@ -50,11 +52,11 @@ class KVBlockManager:
 
     # ------------------------------------------------------------------
     @property
-    def used_blocks(self) -> int:
+    def used_blocks(self) -> Blocks:
         return self._used_blocks
 
     @property
-    def free_blocks(self) -> int:
+    def free_blocks(self) -> Blocks:
         return self.total_blocks - self._used_blocks
 
     @property
@@ -64,17 +66,17 @@ class KVBlockManager:
             return 1.0
         return self._used_blocks / self.total_blocks
 
-    def tokens_of(self, request_id: int) -> int:
+    def tokens_of(self, request_id: int) -> Tokens:
         """Token slots currently held by a request (0 if none)."""
         alloc = self._allocs.get(request_id)
         return alloc.num_tokens if alloc else 0
 
     # ------------------------------------------------------------------
-    def can_allocate(self, num_tokens: int) -> bool:
+    def can_allocate(self, num_tokens: Tokens) -> bool:
         """Whether a fresh allocation of ``num_tokens`` would succeed."""
         return blocks_needed(num_tokens, self.block_size) <= self.free_blocks
 
-    def allocate(self, request_id: int, num_tokens: int) -> None:
+    def allocate(self, request_id: int, num_tokens: Tokens) -> None:
         """Allocate the initial blocks for a request's ``num_tokens``.
 
         Raises:
@@ -94,7 +96,7 @@ class KVBlockManager:
         self._allocs[request_id] = _Allocation(num_tokens=num_tokens, num_blocks=need)
         self._used_blocks += need
 
-    def can_append(self, request_id: int, num_tokens: int = 1) -> bool:
+    def can_append(self, request_id: int, num_tokens: Tokens = 1) -> bool:
         """Whether growing a request by ``num_tokens`` would succeed."""
         alloc = self._allocs.get(request_id)
         if alloc is None:
@@ -102,7 +104,7 @@ class KVBlockManager:
         need = blocks_needed(alloc.num_tokens + num_tokens, self.block_size)
         return need - alloc.num_blocks <= self.free_blocks
 
-    def append(self, request_id: int, num_tokens: int = 1) -> None:
+    def append(self, request_id: int, num_tokens: Tokens = 1) -> None:
         """Grow a request's allocation by ``num_tokens`` (decode step).
 
         Raises:
@@ -126,7 +128,7 @@ class KVBlockManager:
         alloc.num_blocks = need
         self._used_blocks += extra
 
-    def free(self, request_id: int) -> int:
+    def free(self, request_id: int) -> Blocks:
         """Release a request's blocks; returns the number freed.
 
         Freeing an unknown request is a no-op returning 0 (idempotent, so

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from ..quantities import Bytes, Seconds
 from .events import Simulation
 from .metrics import Histogram, MetricsRegistry, exponential_buckets
 from .profiler import NULL_PROFILER, Profiler
@@ -26,12 +27,12 @@ class TransferRecord:
     """Completed transfer, for the Figure 10(b) CDF."""
 
     request_id: int
-    num_bytes: float
-    start_time: float
-    end_time: float
+    num_bytes: Bytes
+    start_time: Seconds
+    end_time: Seconds
 
     @property
-    def duration(self) -> float:
+    def duration(self) -> Seconds:
         return self.end_time - self.start_time
 
 
@@ -91,7 +92,7 @@ class TransferEngine:
     def submit(
         self,
         request_id: int,
-        num_bytes: float,
+        num_bytes: Bytes,
         link: NetworkLink,
         on_done: Callable[[], None],
         num_parallel_channels: int = 1,
@@ -139,7 +140,7 @@ class TransferEngine:
 
         self._sim.schedule_at(end, _complete)
 
-    def link_busy_until(self, link: NetworkLink) -> float:
+    def link_busy_until(self, link: NetworkLink) -> Seconds:
         """When the link frees up (now or earlier if idle)."""
         state = self._links.get(id(link))
         return state.busy_until if state else 0.0

@@ -268,3 +268,73 @@ class TestExitCodeSemantics:
         clean = tmp_path / "clean.py"
         clean.write_text("x = 1\n")
         assert main(["lint", str(clean)]) == EXIT_OK
+
+    def test_lint_explain_deterministic(self, capsys):
+        assert main(["lint", "--explain", "TS001"]) == EXIT_OK
+        first = capsys.readouterr().out
+        assert main(["lint", "--explain", "TS001"]) == EXIT_OK
+        second = capsys.readouterr().out
+        assert first == second
+        assert first.startswith("TS001 — ")
+        for section in ("Rationale:", "Example violation:", "Suppression:"):
+            assert section in first
+
+    def test_lint_explain_every_rule(self, capsys):
+        from repro.lint import rule_names
+
+        for rule in rule_names():
+            assert main(["lint", "--explain", rule]) == EXIT_OK
+            out = capsys.readouterr().out
+            assert out.startswith(f"{rule} — ")
+
+    def test_lint_explain_unknown_rule(self, capsys):
+        assert main(["lint", "--explain", "NOPE42"]) == EXIT_USAGE
+
+    def test_lint_sarif_output(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nx = random.random()\n")
+        assert main(["lint", "--format", "sarif", str(dirty)]) == EXIT_FINDINGS
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "DET002" in rules and "TS001" in rules
+        result = run["results"][0]
+        assert result["ruleId"] == "DET002"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+    def test_lint_baseline_write_then_check(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nx = random.random()\n")
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["lint", "--baseline", "write", "--baseline-file", str(baseline),
+             str(dirty)]
+        ) == EXIT_OK
+        capsys.readouterr()
+        # Known findings are ratcheted away...
+        assert main(
+            ["lint", "--baseline", "check", "--baseline-file", str(baseline),
+             str(dirty)]
+        ) == EXIT_OK
+        capsys.readouterr()
+        # ...but a new finding still fails the check.
+        dirty.write_text(
+            "import random\nx = random.random()\ny = random.randint(0, 3)\n"
+        )
+        assert main(
+            ["lint", "--baseline", "check", "--baseline-file", str(baseline),
+             str(dirty)]
+        ) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "randint" in out and "random.random" not in out
+
+    def test_lint_cache_dir_roundtrip(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text("def f():\n    return 1\n")
+        cache = tmp_path / "cache"
+        assert main(["lint", "--cache-dir", str(cache), str(target)]) == EXIT_OK
+        assert list(cache.glob("callgraph-*.json"))
+        capsys.readouterr()
+        assert main(["lint", "--cache-dir", str(cache), str(target)]) == EXIT_OK

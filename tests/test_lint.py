@@ -17,6 +17,7 @@ from repro.lint import (
     format_findings,
     lint_paths,
     lint_source,
+    lint_sources,
     rule_names,
 )
 from repro.lint.engine import module_name_for
@@ -694,7 +695,109 @@ class TestEngine:
         assert rule_names() == [
             "DET001", "DET002", "DET003", "DET004",
             "OBS001", "PAR001", "PERF001", "SIM001", "SIM002",
+            "TS001", "TS002", "UNIT001",
         ]
+
+
+# ----------------------------------------------------------------------
+# Cross-module reachability: regression tests for the whole-program
+# upgrade. Each case is invisible to the old intra-module graphs —
+# the offending code lives in a *different* module than the hot entry
+# point — and is caught only via the shared project call graph.
+# ----------------------------------------------------------------------
+
+def run_modules(select=None, **sources):
+    dedented = {
+        module.replace("__", "."): textwrap.dedent(text)
+        for module, text in sources.items()
+    }
+    return lint_sources(dedented, select=select)
+
+
+class TestCrossModuleReachability:
+    def test_perf001_sum_in_other_module_called_from_run_step(self):
+        findings = run_modules(
+            select=["PERF001"],
+            repro__simulator__inst="""
+                from repro.latency_model.steps import step_time
+
+                class Instance:
+                    def _run_step(self):
+                        return step_time(self._lens)
+            """,
+            repro__latency_model__steps="""
+                def step_time(lens):
+                    return sum(lens) * 0.001
+            """,
+        )
+        assert rules_of(findings) == ["PERF001"]
+        assert findings[0].path == "<repro.latency_model.steps>"
+
+    def test_perf001_same_fixture_clean_without_hot_caller(self):
+        findings = run_modules(
+            select=["PERF001"],
+            repro__latency_model__steps="""
+                def step_time(lens):
+                    return sum(lens) * 0.001
+            """,
+        )
+        assert findings == []
+
+    def test_det004_float_sum_in_helper_module_feeding_hot_path(self):
+        findings = run_modules(
+            select=["DET004"],
+            repro__latency__report="""
+                from repro.serving.rollup import total_time
+
+                def report(records):
+                    return total_time(records)
+            """,
+            repro__serving__rollup="""
+                def total_time(records):
+                    return sum(r.exec_time for r in records)
+            """,
+        )
+        assert rules_of(findings) == ["DET004"]
+        assert findings[0].path == "<repro.serving.rollup>"
+
+    def test_det004_same_helper_clean_without_hot_caller(self):
+        findings = run_modules(
+            select=["DET004"],
+            repro__serving__rollup="""
+                def total_time(records):
+                    return sum(r.exec_time for r in records)
+            """,
+        )
+        assert findings == []
+
+    def test_obs001_comprehension_in_helper_called_from_record(self):
+        findings = run_modules(
+            select=["OBS001"],
+            repro__simulator__prof="""
+                from repro.analysis.agg import snapshot
+
+                class Profiler:
+                    def record_exec(self, batch):
+                        self.events.append(snapshot(batch))
+            """,
+            repro__analysis__agg="""
+                def snapshot(batch):
+                    return [r.id for r in batch]
+            """,
+        )
+        assert rules_of(findings) == ["OBS001"]
+        assert findings[0].path == "<repro.analysis.agg>"
+        assert "reachable from a per-event hot path" in findings[0].message
+
+    def test_obs001_same_helper_clean_without_hot_caller(self):
+        findings = run_modules(
+            select=["OBS001"],
+            repro__analysis__agg="""
+                def snapshot(batch):
+                    return [r.id for r in batch]
+            """,
+        )
+        assert findings == []
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,330 @@
+"""Typestate protocol tests (repro.lint.typestate: TS001 / TS002).
+
+Positive, negative, and suppression fixtures for both protocols, plus
+the interprocedural cases (summaries across functions and modules) and
+the path-sensitivity contract: an error is reported only when it holds
+on *every* path, never "might happen on some branch".
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source, lint_sources
+
+SIM_MODULE = "repro.simulator.fixture"
+
+
+def run(source: str, module: str = SIM_MODULE, select=None):
+    return lint_source(textwrap.dedent(source), path="fixture.py",
+                       module=module, select=select)
+
+
+def run_modules(select=None, **sources):
+    dedented = {
+        module.replace("__", "."): textwrap.dedent(text)
+        for module, text in sources.items()
+    }
+    return lint_sources(dedented, select=select)
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+# ----------------------------------------------------------------------
+# TS001 — KV-block lifecycle
+# ----------------------------------------------------------------------
+
+class TestTS001Positive:
+    def test_double_free(self):
+        findings = run("""
+            class Sim:
+                def run(self, kv, rid):
+                    kv.allocate(rid, 4)
+                    kv.free(rid)
+                    kv.free(rid)
+        """, select=["TS001"])
+        assert rules_of(findings) == ["TS001"]
+        assert "double free" in findings[0].message
+
+    def test_use_after_free(self):
+        findings = run("""
+            class Sim:
+                def run(self, kv, rid):
+                    kv.allocate(rid, 4)
+                    kv.free(rid)
+                    kv.append(rid, 1)
+        """, select=["TS001"])
+        assert rules_of(findings) == ["TS001"]
+        assert "after free" in findings[0].message
+
+    def test_double_allocate(self):
+        findings = run("""
+            class Sim:
+                def run(self, kv, rid):
+                    kv.allocate(rid, 4)
+                    kv.allocate(rid, 4)
+        """, select=["TS001"])
+        assert rules_of(findings) == ["TS001"]
+        assert "double allocate" in findings[0].message
+
+    def test_free_of_locally_born_unallocated_key(self):
+        findings = run("""
+            class Sim:
+                def run(self, kv):
+                    rid = 7
+                    kv.free(rid)
+        """, select=["TS001"])
+        assert rules_of(findings) == ["TS001"]
+        assert "never allocated" in findings[0].message
+
+    def test_leak_of_locally_born_key(self):
+        findings = run("""
+            class Sim:
+                def run(self, kv):
+                    rid = 7
+                    kv.allocate(rid, 4)
+                    kv.append(rid, 1)
+        """, select=["TS001"])
+        assert rules_of(findings) == ["TS001"]
+        assert "leaked" in findings[0].message
+
+
+class TestTS001Negative:
+    def test_balanced_lifecycle(self):
+        findings = run("""
+            class Sim:
+                def run(self, kv, rid):
+                    kv.allocate(rid, 4)
+                    kv.append(rid, 1)
+                    kv.free(rid)
+        """, select=["TS001"])
+        assert findings == []
+
+    def test_conditional_free_not_double_free(self):
+        # The second free only *might* follow the first — a branch-local
+        # free must not count as freed-on-every-path.
+        findings = run("""
+            class Sim:
+                def run(self, kv, rid, early):
+                    kv.allocate(rid, 4)
+                    if early:
+                        kv.free(rid)
+                        return
+                    kv.free(rid)
+        """, select=["TS001"])
+        assert findings == []
+
+    def test_parameter_key_not_leak(self):
+        # A key from outside may be freed later by the caller; only
+        # locally-born keys can be proven leaked.
+        findings = run("""
+            class Sim:
+                def run(self, kv, rid):
+                    kv.allocate(rid, 4)
+        """, select=["TS001"])
+        assert findings == []
+
+    def test_escaping_key_not_leak(self):
+        findings = run("""
+            class Sim:
+                def run(self, kv):
+                    rid = 7
+                    kv.allocate(rid, 4)
+                    self.finish_later(rid)
+        """, select=["TS001"])
+        assert findings == []
+
+    def test_unhinted_receiver_ignored(self):
+        findings = run("""
+            class Sim:
+                def run(self, queue, rid):
+                    queue.free(rid)
+                    queue.free(rid)
+        """, select=["TS001"])
+        assert findings == []
+
+    def test_leak_scope_limited_to_simulator(self):
+        findings = run("""
+            class Planner:
+                def run(self, kv):
+                    rid = 7
+                    kv.allocate(rid, 4)
+        """, module="repro.core.fixture", select=["TS001"])
+        assert findings == []
+
+
+class TestTS001Interprocedural:
+    def test_helper_free_counts_at_call_site(self):
+        findings = run("""
+            class Sim:
+                def release(self, kv, rid):
+                    kv.free(rid)
+
+                def run(self, kv, rid):
+                    kv.allocate(rid, 4)
+                    self.release(kv, rid)
+                    kv.free(rid)
+        """, select=["TS001"])
+        assert rules_of(findings) == ["TS001"]
+        assert "double free" in findings[0].message
+
+    def test_cross_module_helper_free(self):
+        findings = run_modules(
+            select=["TS001"],
+            repro__simulator__a="""
+                from repro.simulator.b import release
+
+                class Sim:
+                    def run(self, kv, rid):
+                        kv.allocate(rid, 4)
+                        release(kv, rid)
+                        kv.free(rid)
+            """,
+            repro__simulator__b="""
+                def release(kv, rid):
+                    kv.free(rid)
+            """,
+        )
+        assert rules_of(findings) == ["TS001"]
+        assert "double free" in findings[0].message
+
+    def test_conditional_helper_free_is_may_not_must(self):
+        findings = run("""
+            class Sim:
+                def maybe_release(self, kv, rid, early):
+                    if early:
+                        kv.free(rid)
+
+                def run(self, kv, rid, early):
+                    kv.allocate(rid, 4)
+                    self.maybe_release(kv, rid, early)
+                    kv.free(rid)
+        """, select=["TS001"])
+        assert findings == []
+
+    def test_protocol_class_method_seeds_summary(self):
+        # The receiver is unhinted ("pool"), but its class is resolved
+        # to KVBlockManager, whose methods seed the summary table.
+        findings = run("""
+            class KVBlockManager:
+                def allocate(self, request_id, num_tokens):
+                    pass
+
+                def free(self, request_id):
+                    pass
+
+            class Sim:
+                def __init__(self):
+                    self.pool = KVBlockManager()
+
+                def run(self, rid):
+                    self.pool.allocate(rid, 4)
+                    self.pool.free(rid)
+                    self.pool.free(rid)
+        """, select=["TS001"])
+        assert rules_of(findings) == ["TS001"]
+
+
+class TestTS001Suppression:
+    def test_line_suppression(self):
+        findings = run("""
+            class Sim:
+                def run(self, kv, rid):
+                    kv.allocate(rid, 4)
+                    kv.free(rid)
+                    kv.free(rid)  # reprolint: disable=TS001 -- idempotent by contract
+        """, select=["TS001"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# TS002 — transfer-handle protocol
+# ----------------------------------------------------------------------
+
+class TestTS002Positive:
+    def test_double_submit(self):
+        findings = run("""
+            class Sim:
+                def go(self, transfer, rid):
+                    transfer.submit(rid)
+                    transfer.submit(rid)
+        """, select=["TS002"])
+        assert rules_of(findings) == ["TS002"]
+        assert "double submit" in findings[0].message
+
+    def test_double_complete(self):
+        findings = run("""
+            class Sim:
+                def go(self, transfer, rid):
+                    transfer.submit(rid)
+                    transfer.complete(rid)
+                    transfer.complete(rid)
+        """, select=["TS002"])
+        assert rules_of(findings) == ["TS002"]
+        assert "double complete" in findings[0].message
+
+    def test_complete_of_locally_born_unsubmitted_handle(self):
+        findings = run("""
+            class Sim:
+                def go(self, xfer):
+                    rid = 3
+                    xfer.complete(rid)
+        """, select=["TS002"])
+        assert rules_of(findings) == ["TS002"]
+        assert "never submitted" in findings[0].message
+
+
+class TestTS002Negative:
+    def test_balanced_submit_complete(self):
+        findings = run("""
+            class Sim:
+                def go(self, transfer, rid):
+                    transfer.submit(rid)
+                    transfer.complete(rid)
+        """, select=["TS002"])
+        assert findings == []
+
+    def test_resubmit_after_complete(self):
+        findings = run("""
+            class Sim:
+                def go(self, transfer, rid):
+                    transfer.submit(rid)
+                    transfer.complete(rid)
+                    transfer.submit(rid)
+                    transfer.complete(rid)
+        """, select=["TS002"])
+        assert findings == []
+
+    def test_conditional_submit_not_double(self):
+        findings = run("""
+            class Sim:
+                def go(self, transfer, rid, retry):
+                    if retry:
+                        transfer.submit(rid)
+                        return
+                    transfer.submit(rid)
+        """, select=["TS002"])
+        assert findings == []
+
+    def test_unhinted_receiver_ignored(self):
+        findings = run("""
+            class Sim:
+                def go(self, queue, rid):
+                    queue.submit(rid)
+                    queue.submit(rid)
+        """, select=["TS002"])
+        assert findings == []
+
+
+class TestTS002Suppression:
+    def test_line_suppression(self):
+        findings = run("""
+            class Sim:
+                def go(self, transfer, rid):
+                    transfer.submit(rid)
+                    # reprolint: disable=TS002 -- second handle keyed differently at runtime
+                    transfer.submit(rid)
+        """, select=["TS002"])
+        assert findings == []

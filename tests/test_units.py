@@ -1,0 +1,156 @@
+"""Unit-dimension analysis tests (repro.lint.units: UNIT001).
+
+Covers name-based inference (ms/s/tokens/blocks/bytes/requests,
+disqualifier segments, time-beats-counts), annotation pinning via
+repro.quantities, expression propagation, and the rule's scoping to
+latency/simulator/core modules.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+from repro.lint.units import dimension_of_name
+
+LATENCY_MODULE = "repro.latency.fixture"
+
+
+def run(source: str, module: str = LATENCY_MODULE):
+    return lint_source(textwrap.dedent(source), path="fixture.py",
+                       module=module, select=["UNIT001"])
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestNameInference:
+    def test_time_segments(self):
+        assert dimension_of_name("queue_time") == "seconds"
+        assert dimension_of_name("ttft") == "seconds"
+        assert dimension_of_name("exec_latency") == "seconds"
+
+    def test_ms_beats_seconds(self):
+        assert dimension_of_name("latency_ms") == "milliseconds"
+        assert dimension_of_name("deadline_msec") == "milliseconds"
+
+    def test_time_beats_counts(self):
+        assert dimension_of_name("request_latency") == "seconds"
+
+    def test_counts(self):
+        assert dimension_of_name("batch_tokens") == "tokens"
+        assert dimension_of_name("free_blocks") == "blocks"
+        assert dimension_of_name("num_bytes") == "bytes"
+        assert dimension_of_name("pending_requests") == "requests"
+
+    def test_disqualifiers(self):
+        assert dimension_of_name("request_id") is None
+        assert dimension_of_name("tokens_per_s") is None
+        assert dimension_of_name("block_idx") is None
+        assert dimension_of_name("time_frac") is None
+
+    def test_ambiguous_count_pair(self):
+        assert dimension_of_name("token_blocks") is None
+
+    def test_no_hint(self):
+        assert dimension_of_name("total") is None
+
+
+class TestPositive:
+    def test_ms_plus_seconds(self):
+        findings = run("""
+            def f(ttft_ms, queue_time):
+                return ttft_ms + queue_time
+        """)
+        assert rules_of(findings) == ["UNIT001"]
+        assert "milliseconds" in findings[0].message
+
+    def test_tokens_compared_to_blocks(self):
+        findings = run("""
+            def f(batch_tokens, free_blocks):
+                return batch_tokens > free_blocks
+        """)
+        assert rules_of(findings) == ["UNIT001"]
+
+    def test_bytes_minus_seconds(self):
+        findings = run("""
+            def f(num_bytes, elapsed):
+                return num_bytes - elapsed
+        """)
+        assert rules_of(findings) == ["UNIT001"]
+
+    def test_augassign_mixing(self):
+        findings = run("""
+            def f(stall_time, batch_tokens):
+                stall_time += batch_tokens
+                return stall_time
+        """)
+        assert rules_of(findings) == ["UNIT001"]
+
+    def test_annotation_overrides_name(self):
+        # `budget` has no name hint; its Blocks annotation pins it.
+        findings = run("""
+            from repro.quantities import Blocks
+
+            def f(budget: Blocks, batch_tokens):
+                return batch_tokens + budget
+        """)
+        assert rules_of(findings) == ["UNIT001"]
+
+    def test_propagation_through_max(self):
+        findings = run("""
+            def f(queue_time, exec_time, batch_tokens):
+                return max(queue_time, exec_time) + batch_tokens
+        """)
+        assert rules_of(findings) == ["UNIT001"]
+
+
+class TestNegative:
+    def test_same_dimension(self):
+        findings = run("""
+            def f(queue_time, exec_time):
+                return queue_time + exec_time
+        """)
+        assert findings == []
+
+    def test_unknown_side_stays_silent(self):
+        findings = run("""
+            def f(queue_time, x):
+                return queue_time + x
+        """)
+        assert findings == []
+
+    def test_rate_multiplication_erases_dimension(self):
+        # tokens * seconds_per_token legitimately changes dimension; the
+        # product has no inferred dimension, so adding seconds is fine.
+        findings = run("""
+            def f(batch_tokens, s_per_tok, queue_time):
+                return batch_tokens * s_per_tok + queue_time
+        """)
+        assert findings == []
+
+    def test_annotation_agreeing_with_expression(self):
+        findings = run("""
+            from repro.quantities import Seconds
+
+            def f(delay: Seconds, queue_time):
+                return delay + queue_time
+        """)
+        assert findings == []
+
+    def test_out_of_scope_module(self):
+        findings = run("""
+            def f(ttft_ms, queue_time):
+                return ttft_ms + queue_time
+        """, module="repro.analysis.fixture")
+        assert findings == []
+
+
+class TestSuppression:
+    def test_line_suppression(self):
+        findings = run("""
+            def f(ttft_ms, queue_time):
+                return ttft_ms + queue_time  # reprolint: disable=UNIT001 -- queue_time is ms here
+        """)
+        assert findings == []
