@@ -56,7 +56,7 @@ def run_ablations():
 
     # 2. Dispatch policies.
     steady = generate_trace(SHAREGPT, rate=10.0, num_requests=N, rng=np.random.default_rng(4))
-    for policy in ("least_loaded", "round_robin", "random"):
+    for policy in ("least_loaded", "round_robin", "random", "power_of_two"):
         res = _run(
             lambda sim, p=policy: DisaggregatedSystem(
                 sim, SPEC, SPEC, num_prefill=3, num_decode=2,
@@ -101,7 +101,7 @@ def test_ablation_extras(benchmark):
         res = out[f"transfer_{mode}"]
         dq = float(np.mean([r.decode_queue_time for r in res.records]))
         rows.append([f"KV transfer: {mode}", res.completed, dq, tpot_percentile(res.records)])
-    for policy in ("least_loaded", "round_robin", "random"):
+    for policy in ("least_loaded", "round_robin", "random", "power_of_two"):
         res = out[f"dispatch_{policy}"]
         rows.append(
             [f"dispatch: {policy}", res.completed,
@@ -137,6 +137,11 @@ def test_ablation_extras(benchmark):
     assert pull_dq <= push_dq + 1e-3
     # Least-loaded dispatch beats random on tail TTFT.
     assert ttft_percentile(out["dispatch_least_loaded"].records) <= ttft_percentile(
+        out["dispatch_random"].records
+    ) * 1.05
+    # Two random choices beat one (balls-into-bins): power-of-two's tail
+    # TTFT tracks least-loaded far more closely than blind random does.
+    assert ttft_percentile(out["dispatch_power_of_two"].records) <= ttft_percentile(
         out["dispatch_random"].records
     ) * 1.05
     # Chunked prefill trades TTFT for TPOT (the §2.2 claim): TPOT improves

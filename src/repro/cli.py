@@ -61,6 +61,12 @@ from .latency import (
     saturation_length,
 )
 from .models import get_model, list_models
+from .scheduling import (
+    BATCH_POLICIES,
+    DISPATCH_POLICIES,
+    QUEUE_POLICIES,
+    SchedulingConfig,
+)
 from .serving import ColocatedSystem, DisaggregatedSystem, simulate_trace
 from .simulator import (
     InstanceSpec,
@@ -111,6 +117,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         stats=stats,
         workers=args.workers,
         fast_kernel=not args.no_fast_kernel,
+        scheduling=_scheduling_from_args(args),
         **kwargs,
     )
     print(placement.describe())
@@ -136,9 +143,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         model=model, config=ParallelismConfig(args.decode_tp, args.decode_pp)
     )
     sim = Simulation()
+    scheduling = _scheduling_from_args(args)
     system = DisaggregatedSystem(
         sim, prefill_spec, decode_spec,
         num_prefill=args.num_prefill, num_decode=args.num_decode,
+        scheduling=scheduling, rng=_dispatch_rng(scheduling, args.seed),
     )
     trace = generate_trace(
         get_dataset(args.dataset), rate=args.rate, num_requests=args.requests,
@@ -157,6 +166,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         report = slo_attainment(result.records, slo, num_expected=len(trace))
         print(f"SLO attainment: {report.total:.1%}")
     return 0
+
+
+def _scheduling_from_args(args: argparse.Namespace) -> "SchedulingConfig | None":
+    """The policy triple selected by the shared scheduling flags.
+
+    Returns ``None`` when every flag is at its default so default runs
+    construct systems exactly as before (byte-identical traces, stable
+    search fingerprints).
+    """
+    cfg = SchedulingConfig(
+        queue_policy=getattr(args, "queue_policy", "fcfs"),
+        batch_policy=getattr(args, "batch_policy", "token_budget"),
+        dispatch_policy=getattr(args, "dispatch_policy", "least_loaded"),
+    )
+    return None if cfg.is_default() else cfg
+
+
+def _dispatch_rng(
+    cfg: "SchedulingConfig | None", seed: int
+) -> "np.random.Generator | None":
+    """A dedicated dispatch RNG for the randomized policies.
+
+    Kept separate from the trace RNG so the workload a seed generates
+    never depends on the dispatch policy.
+    """
+    if cfg is not None and cfg.dispatch_policy in ("random", "power_of_two"):
+        return np.random.default_rng(seed)
+    return None
 
 
 def _make_sim(args: argparse.Namespace) -> "tuple[Simulation, SimSanitizer | None]":
@@ -193,6 +230,8 @@ def _build_system(
 ):
     """Construct the serving system described by the shared run flags."""
     model = get_model(args.model)
+    scheduling = _scheduling_from_args(args)
+    rng = _dispatch_rng(scheduling, getattr(args, "seed", 0))
     if args.mode == "disaggregated":
         prefill_spec = InstanceSpec(
             model=model, config=ParallelismConfig(args.prefill_tp, args.prefill_pp)
@@ -204,13 +243,14 @@ def _build_system(
             sim, prefill_spec, decode_spec,
             num_prefill=args.num_prefill, num_decode=args.num_decode,
             tracer=tracer, profiler=profiler,
+            scheduling=scheduling, rng=rng,
         )
     spec = InstanceSpec(
         model=model, config=ParallelismConfig(args.prefill_tp, args.prefill_pp)
     )
     return ColocatedSystem(
         sim, spec, num_replicas=args.num_prefill, tracer=tracer,
-        profiler=profiler,
+        profiler=profiler, scheduling=scheduling, rng=rng,
     )
 
 
@@ -468,6 +508,20 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_scheduling_flags(p: argparse.ArgumentParser) -> None:
+    """Shared ``repro.scheduling`` policy flags (defaults = paper §4.3)."""
+    p.add_argument("--queue-policy", choices=QUEUE_POLICIES, default="fcfs",
+                   help="admission order of waiting requests")
+    p.add_argument("--batch-policy", choices=BATCH_POLICIES,
+                   default="token_budget",
+                   help="prefill batch shaping (chunked splits oversized "
+                        "prompts across consecutive batches)")
+    p.add_argument("--dispatch-policy", choices=DISPATCH_POLICIES,
+                   default="least_loaded",
+                   help="cross-instance routing (random/power_of_two draw "
+                        "from a dedicated RNG seeded by --seed)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -500,6 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="force the per-step reference simulation path "
                            "(the fast-forward kernel is bit-identical, so "
                            "this only changes speed, never the placement)")
+    _add_scheduling_flags(plan)
 
     serve = sub.add_parser("serve", help="simulate serving a trace")
     serve.add_argument("--model", default="opt-13b")
@@ -515,6 +570,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--decode-pp", type=int, default=1)
     serve.add_argument("--ttft", type=float, default=0.0)
     serve.add_argument("--tpot", type=float, default=0.0)
+    _add_scheduling_flags(serve)
 
     trace_p = sub.add_parser(
         "trace", help="simulate a synthetic trace and dump the span timeline"
@@ -541,6 +597,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run under SimSanitizer (monotonic time, "
                               "request conservation, KV-leak and transfer "
                               "double-free checks); exit 1 on violations")
+
+    _add_scheduling_flags(trace_p)
 
     metrics = sub.add_parser(
         "metrics",
@@ -574,6 +632,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="JSON metrics snapshot path")
     metrics.add_argument("--sanitize", action="store_true",
                          help="run under SimSanitizer; exit 1 on violations")
+    _add_scheduling_flags(metrics)
 
     profile = sub.add_parser(
         "profile",
@@ -609,6 +668,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "of running a simulation")
     profile.add_argument("--sanitize", action="store_true",
                          help="run under SimSanitizer; exit 1 on violations")
+    _add_scheduling_flags(profile)
 
     lint = sub.add_parser(
         "lint",

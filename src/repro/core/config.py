@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..latency.parallel import ParallelismConfig
+from ..scheduling.config import SchedulingConfig
 
 __all__ = ["PhasePlan", "Placement"]
 
@@ -53,11 +54,15 @@ class Placement:
         decode: Decode-phase plan.
         kv_transfer_intra_node: Whether KV migrations stay on NVLink
             (True under Algorithm 2's stage-colocated layout).
+        scheduling: The policy triple the placement was searched under
+            (``None`` = paper defaults). Deployments must run the same
+            policies the search simulated, so the plan carries them.
     """
 
     prefill: PhasePlan
     decode: PhasePlan
     kv_transfer_intra_node: bool = True
+    scheduling: "SchedulingConfig | None" = None
 
     @property
     def num_gpus(self) -> int:

@@ -243,7 +243,11 @@ def max_goodput(
 
     Args:
         system_factory: Builds a fresh system for each trial (systems hold
-            per-simulation state and cannot be reused).
+            per-simulation state and cannot be reused). Any scheduling
+            policy choice (:mod:`repro.scheduling`) is bound inside the
+            factory — this search never inspects it, so memoizing
+            runners must fingerprint the factory itself (see
+            :func:`repro.core.search.fingerprint`).
         dataset: Workload length distributions.
         slo: TTFT/TPOT objectives.
         attainment_target: Required fraction of requests meeting both SLOs.

@@ -35,6 +35,7 @@ from .search import (
     resolve_trial_cache,
 )
 from .simulate import candidate_configs
+from ..scheduling.config import SchedulingConfig
 from ..hardware.cluster import Cluster
 from ..latency.parallel import ParallelismConfig
 from ..models.architecture import ModelArchitecture
@@ -64,6 +65,7 @@ def place_high_affinity(
     prune: bool = True,
     early_abort: bool = True,
     fast_kernel: bool = True,
+    scheduling: "SchedulingConfig | None" = None,
 ) -> Placement:
     """Algorithm 1 of the paper.
 
@@ -93,6 +95,10 @@ def place_high_affinity(
             is mathematically unreachable.
         fast_kernel: Use the fast-forward simulation kernel for trials
             (default on; results are bit-identical either way).
+        scheduling: Queue/batch/dispatch policy triple the simulated
+            instances run (``None`` = paper defaults). Enters trial
+            fingerprints when non-default, so the trial cache never
+            conflates policies; the returned placement carries it.
 
     Returns:
         The per-GPU-goodput-optimal placement.
@@ -169,7 +175,7 @@ def place_high_affinity(
                             make_phase_task(
                                 kind, spec, dataset, slo, attainment_target,
                                 num_requests, seed, cache, early_abort,
-                                fast_kernel,
+                                fast_kernel, scheduling,
                             )
                         )
                         slots.append((i, kind))
@@ -240,6 +246,7 @@ def place_high_affinity(
                 goodput_per_instance=best_decode[2],
             ),
             kv_transfer_intra_node=False,
+            scheduling=scheduling,
         )
     finally:
         # reprolint: disable=DET001 -- search-cost stat only (see above).

@@ -33,6 +33,8 @@ import time
 from dataclasses import dataclass
 from functools import partial
 
+import numpy as np
+
 from .config import PhasePlan, Placement
 from .search import (
     JOINT_PRUNE_WAVE,
@@ -48,6 +50,7 @@ from ..hardware.cluster import Cluster
 from ..latency.parallel import ParallelismConfig
 from ..models.architecture import ModelArchitecture
 from ..models.memory import fits_in_memory
+from ..scheduling.config import SchedulingConfig
 from ..serving.disaggregated import DisaggregatedSystem
 from ..simulator.events import Simulation
 from ..simulator.instance import InstanceSpec
@@ -129,6 +132,7 @@ def _unit_factory(
     cand: IntraNodeConfig,
     sim: Simulation,
     fast_kernel: bool = True,
+    scheduling: "SchedulingConfig | None" = None,
 ) -> DisaggregatedSystem:
     gpu = cluster.gpu
     # Stage k of both phases shares node k, so pipeline activations cross
@@ -148,6 +152,14 @@ def _unit_factory(
         tp_link=cluster.intra_node_link,
         pp_link=pp_link,
     )
+    # Randomized dispatch gets a fixed-seed generator built *inside* the
+    # factory: trials stay deterministic and reproducible from the task
+    # fingerprint alone (a Generator object could not be fingerprinted).
+    rng = None
+    if scheduling is not None and scheduling.dispatch_policy in (
+        "random", "power_of_two"
+    ):
+        rng = np.random.default_rng(0)
     return DisaggregatedSystem(
         sim,
         prefill_spec,
@@ -159,6 +171,8 @@ def _unit_factory(
         transfer_link=cluster.intra_node_link,
         transfer_channels=cand.inter_op,
         fast_kernel=fast_kernel,
+        scheduling=scheduling,
+        rng=rng,
     )
 
 
@@ -179,6 +193,7 @@ def place_low_affinity(
     prune: bool = True,
     early_abort: bool = True,
     fast_kernel: bool = True,
+    scheduling: "SchedulingConfig | None" = None,
 ) -> Placement:
     """Algorithm 2 of the paper.
 
@@ -257,6 +272,7 @@ def place_low_affinity(
                     make_phase_task(
                         kind, phase_spec(tp, pp), dataset, slo, attainment_target,
                         num_requests, seed, cache, early_abort, fast_kernel,
+                        scheduling,
                     )
                 )
                 slots.append(key)
@@ -294,15 +310,16 @@ def place_low_affinity(
                     if prune and best is not None and estimate <= best[0]:
                         st.configs_pruned += 1
                         continue
-                    # Fast-kernel-on binds no extra keyword so the trial
-                    # fingerprint (and any warm cache) is unchanged.
-                    factory = (
-                        partial(_unit_factory, model, cluster, cand)
-                        if fast_kernel
-                        else partial(
-                            _unit_factory, model, cluster, cand, fast_kernel=False
-                        )
-                    )
+                    # Defaults bind no extra keyword so the trial
+                    # fingerprint (and any warm cache) is unchanged; a
+                    # non-default SchedulingConfig is bound in and thus
+                    # keys the cache by policy triple.
+                    fkwargs = {}
+                    if not fast_kernel:
+                        fkwargs["fast_kernel"] = False
+                    if scheduling is not None and not scheduling.is_default():
+                        fkwargs["scheduling"] = scheduling
+                    factory = partial(_unit_factory, model, cluster, cand, **fkwargs)
                     tasks.append(
                         make_joint_task(
                             factory,
@@ -339,6 +356,7 @@ def place_low_affinity(
                 goodput_per_instance=unit_goodput / cand.num_decode,
             ),
             kv_transfer_intra_node=True,
+            scheduling=scheduling,
         )
     finally:
         # reprolint: disable=DET001 -- search-cost stat only (see above).

@@ -53,6 +53,7 @@ from .goodput import (
 )
 from .simulate import PHASE_TRIAL_MIN_DURATION, phase_trial_setup
 from ..latency.parallel import decode_times, prefill_times
+from ..scheduling.config import SchedulingConfig
 from ..simulator.instance import InstanceSpec
 from ..workload.datasets import SyntheticDataset
 from ..workload.slos import SLO
@@ -356,6 +357,10 @@ class GoodputTask:
     #: Fast-forward simulation kernel (bit-identical results; off routes
     #: every trial through the per-step reference path).
     fast_kernel: bool = True
+    #: Scheduling policy triple for phase tasks (joint tasks carry it
+    #: inside the factory partial). Non-default configs are bound into
+    #: the re-derived factory and hence the fingerprint.
+    scheduling: "SchedulingConfig | None" = None
 
 
 @dataclass
@@ -443,9 +448,12 @@ def make_phase_task(
     cache: TrialCache,
     early_abort: bool = True,
     fast_kernel: bool = True,
+    scheduling: "SchedulingConfig | None" = None,
 ) -> GoodputTask:
     """A phase-level goodput search task (``simu_prefill``/``simu_decode``)."""
-    factory, trial_slo = phase_trial_setup(kind, spec, slo, fast_kernel=fast_kernel)
+    factory, trial_slo = phase_trial_setup(
+        kind, spec, slo, fast_kernel=fast_kernel, scheduling=scheduling
+    )
     fp = trial_context_fingerprint(
         factory, dataset, trial_slo, num_requests, seed, PHASE_TRIAL_MIN_DURATION
     )
@@ -454,7 +462,7 @@ def make_phase_task(
         attainment_target=attainment_target, num_requests=num_requests,
         seed=seed, min_duration=PHASE_TRIAL_MIN_DURATION,
         context_fp=fp, seed_entries=cache.snapshot(fp), early_abort=early_abort,
-        fast_kernel=fast_kernel,
+        fast_kernel=fast_kernel, scheduling=scheduling,
     )
 
 
@@ -492,7 +500,8 @@ def _execute_task(task: GoodputTask) -> GoodputTaskResult:
     """Run one goodput search (in-process or inside a pool worker)."""
     if task.kind in ("prefill", "decode"):
         factory, trial_slo = phase_trial_setup(
-            task.kind, task.payload, task.slo, fast_kernel=task.fast_kernel
+            task.kind, task.payload, task.slo,
+            fast_kernel=task.fast_kernel, scheduling=task.scheduling,
         )
     elif task.kind == "joint":
         factory, trial_slo = task.payload, task.slo

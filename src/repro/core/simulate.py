@@ -19,6 +19,7 @@ from functools import partial
 
 from .goodput import GoodputResult, TrialRunner, max_goodput
 from ..latency.parallel import ParallelismConfig
+from ..scheduling.config import SchedulingConfig
 from ..serving.phase_only import DecodeOnlySystem, PrefillOnlySystem
 from ..simulator.events import Simulation
 from ..simulator.instance import InstanceSpec
@@ -36,26 +37,40 @@ PHASE_TRIAL_MIN_DURATION = 45.0
 
 
 def _prefill_factory(
-    spec: InstanceSpec, sim: Simulation, fast_kernel: bool = True
+    spec: InstanceSpec,
+    sim: Simulation,
+    fast_kernel: bool = True,
+    scheduling: "SchedulingConfig | None" = None,
 ) -> PrefillOnlySystem:
-    return PrefillOnlySystem(sim, spec, fast_kernel=fast_kernel)
+    return PrefillOnlySystem(sim, spec, fast_kernel=fast_kernel, scheduling=scheduling)
 
 
 def _decode_factory(
-    spec: InstanceSpec, sim: Simulation, fast_kernel: bool = True
+    spec: InstanceSpec,
+    sim: Simulation,
+    fast_kernel: bool = True,
+    scheduling: "SchedulingConfig | None" = None,
 ) -> DecodeOnlySystem:
-    return DecodeOnlySystem(sim, spec, fast_kernel=fast_kernel)
+    return DecodeOnlySystem(sim, spec, fast_kernel=fast_kernel, scheduling=scheduling)
 
 
-def phase_trial_setup(kind: str, spec: InstanceSpec, slo: SLO, fast_kernel: bool = True):
+def phase_trial_setup(
+    kind: str,
+    spec: InstanceSpec,
+    slo: SLO,
+    fast_kernel: bool = True,
+    scheduling: "SchedulingConfig | None" = None,
+):
     """The (system factory, masked SLO) pair of one phase-level trial.
 
     The factory is a picklable ``functools.partial`` over module-level
     functions, so it can cross a process boundary and be fingerprinted
-    deterministically. The default (fast kernel on) binds no extra
-    keyword, so fingerprints — and therefore on-disk caches — are
-    unchanged from before the kernel existed; results are bit-identical
-    either way.
+    deterministically. The default (fast kernel on, default scheduling)
+    binds no extra keyword, so fingerprints — and therefore on-disk
+    caches — are unchanged from before the kernel and the scheduling
+    layer existed; a *non-default* :class:`SchedulingConfig` is bound
+    into the partial and thus enters the fingerprint, so the
+    ``TrialCache`` never conflates trials run under different policies.
 
     Args:
         kind: ``"prefill"`` or ``"decode"``.
@@ -64,21 +79,24 @@ def phase_trial_setup(kind: str, spec: InstanceSpec, slo: SLO, fast_kernel: bool
             replaced by an unbounded value.
         fast_kernel: Disable to force the per-step reference path (the
             ``--no-fast-kernel`` escape hatch).
+        scheduling: Policy configuration; ``None`` or the default triple
+            keeps the historic factory shape.
     """
+    kwargs = {}
+    if not fast_kernel:
+        kwargs["fast_kernel"] = False
+    if scheduling is not None and not scheduling.is_default():
+        kwargs["scheduling"] = scheduling
     if kind == "prefill":
-        factory = (
-            partial(_prefill_factory, spec)
-            if fast_kernel
-            else partial(_prefill_factory, spec, fast_kernel=False)
+        return (
+            partial(_prefill_factory, spec, **kwargs),
+            SLO(ttft=slo.ttft, tpot=_UNBOUNDED),
         )
-        return factory, SLO(ttft=slo.ttft, tpot=_UNBOUNDED)
     if kind == "decode":
-        factory = (
-            partial(_decode_factory, spec)
-            if fast_kernel
-            else partial(_decode_factory, spec, fast_kernel=False)
+        return (
+            partial(_decode_factory, spec, **kwargs),
+            SLO(ttft=_UNBOUNDED, tpot=slo.tpot),
         )
-        return factory, SLO(ttft=_UNBOUNDED, tpot=slo.tpot)
     raise ValueError(f"unknown phase kind {kind!r}; expected 'prefill' or 'decode'")
 
 
@@ -92,9 +110,12 @@ def simu_prefill(
     trial_runner: "TrialRunner | None" = None,
     early_abort: bool = True,
     fast_kernel: bool = True,
+    scheduling: "SchedulingConfig | None" = None,
 ) -> GoodputResult:
     """Max rate one prefill instance sustains under the TTFT SLO alone."""
-    factory, phase_slo = phase_trial_setup("prefill", spec, slo, fast_kernel=fast_kernel)
+    factory, phase_slo = phase_trial_setup(
+        "prefill", spec, slo, fast_kernel=fast_kernel, scheduling=scheduling
+    )
     return max_goodput(
         factory,
         dataset,
@@ -118,9 +139,12 @@ def simu_decode(
     trial_runner: "TrialRunner | None" = None,
     early_abort: bool = True,
     fast_kernel: bool = True,
+    scheduling: "SchedulingConfig | None" = None,
 ) -> GoodputResult:
     """Max rate one decode instance sustains under the TPOT SLO alone."""
-    factory, phase_slo = phase_trial_setup("decode", spec, slo, fast_kernel=fast_kernel)
+    factory, phase_slo = phase_trial_setup(
+        "decode", spec, slo, fast_kernel=fast_kernel, scheduling=scheduling
+    )
     return max_goodput(
         factory,
         dataset,

@@ -105,7 +105,9 @@ class WallClockRule(Rule):
     summary = "no wall-clock reads inside repro.simulator / repro.core"
 
     def applies_to(self, ctx: ModuleContext) -> bool:
-        return ctx.module.startswith(("repro.simulator", "repro.core"))
+        return ctx.module.startswith(
+            ("repro.simulator", "repro.core", "repro.scheduling")
+        )
 
     def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> _Yield:
         name = call_name(node)
@@ -883,7 +885,9 @@ class HotPathComprehensionRule(Rule):
         return (
             fn.cls is not None
             and _is_hot_event_method(fn.name)
-            and fn.module.startswith(("repro.simulator", "repro.serving"))
+            and fn.module.startswith(
+                ("repro.simulator", "repro.serving", "repro.scheduling")
+            )
         )
 
     def _reachable(self, project: "ProjectGraph") -> "frozenset[str]":
@@ -973,6 +977,17 @@ _DECODE_LOOP_ROOTS = frozenset({
     "_kv_safe_steps",
 })
 
+#: Scheduling-policy entry points (repro.scheduling): every one runs
+#: inside the batch-formation / admission path, once per scheduling
+#: round, so the same O(B)-reduction discipline as the decode loop
+#: applies to everything they reach.
+_SCHED_LOOP_ROOTS = frozenset({
+    "form_prefill",
+    "reorder",
+    "admit_decode",
+    "select",
+})
+
 
 @register
 class DecodeLoopSumRule(Rule):
@@ -1010,8 +1025,14 @@ class DecodeLoopSumRule(Rule):
             seeds = [
                 qualname
                 for qualname, fn in project.functions.items()
-                if fn.name in _DECODE_LOOP_ROOTS
-                and fn.module.startswith("repro.simulator")
+                if (
+                    fn.name in _DECODE_LOOP_ROOTS
+                    and fn.module.startswith("repro.simulator")
+                )
+                or (
+                    fn.name in _SCHED_LOOP_ROOTS
+                    and fn.module.startswith("repro.scheduling")
+                )
             ]
             cached = project.reachable_from(seeds)
             self._reach[key] = cached

@@ -96,7 +96,7 @@ _KV_PROTOCOL = Protocol(
     receiver_classes=("KVBlockManager",),
     verbs={_ACQUIRE: "allocate", _USE: "use", _RELEASE: "free"},
     check_leak=True,
-    leak_prefixes=("repro.simulator",),
+    leak_prefixes=("repro.simulator", "repro.scheduling"),
 )
 
 _TRANSFER_PROTOCOL = Protocol(

@@ -249,7 +249,8 @@ class UnitDimensionRule(Rule):
 
     def applies_to(self, ctx: ModuleContext) -> bool:
         return ctx.module.startswith(
-            ("repro.latency", "repro.simulator", "repro.core")
+            ("repro.latency", "repro.simulator", "repro.core",
+             "repro.scheduling")
         )
 
     def visit_BinOp(self, node: ast.BinOp, ctx: ModuleContext) -> _Yield:

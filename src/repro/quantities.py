@@ -30,6 +30,7 @@ __all__ = [
     "Blocks",
     "Bytes",
     "Requests",
+    "TokensPerSecond",
 ]
 
 #: Wall/virtual time in SI seconds — the tree-wide convention.
@@ -49,3 +50,8 @@ Bytes = float
 
 #: Request counts.
 Requests = int
+
+#: Rates in tokens per second (e.g. the ``sjf_aging`` credit rate).
+#: A ratio of two dimensions — UNIT001 treats it as unchecked, which is
+#: correct: rate * seconds legitimately yields tokens.
+TokensPerSecond = float

@@ -12,6 +12,7 @@ import numpy as np
 
 from .base import ServingSystem
 from .dispatch import Dispatcher
+from ..scheduling.config import SchedulingConfig
 from ..simulator.colocated_instance import ColocatedInstance
 from ..simulator.events import Simulation
 from ..simulator.instance import InstanceSpec
@@ -41,6 +42,9 @@ class ColocatedSystem(ServingSystem):
             replica.
         fast_kernel: Evaluate iteration latency through the memoized
             timers (bit-identical results).
+        scheduling: Full policy configuration (:mod:`repro.scheduling`)
+            shared by every replica; its ``dispatch_policy`` overrides
+            the legacy ``dispatch_policy`` keyword.
     """
 
     def __init__(
@@ -56,10 +60,13 @@ class ColocatedSystem(ServingSystem):
         tracer: "Tracer | None" = None,
         profiler: "Profiler | None" = None,
         fast_kernel: bool = True,
+        scheduling: "SchedulingConfig | None" = None,
     ) -> None:
-        super().__init__(sim, tracer=tracer, profiler=profiler)
+        super().__init__(sim, tracer=tracer, profiler=profiler, scheduling=scheduling)
         if num_replicas <= 0:
             raise ValueError(f"num_replicas must be positive, got {num_replicas}")
+        if scheduling is not None:
+            dispatch_policy = scheduling.dispatch_policy
         self.spec = spec
         self.instances = [
             ColocatedInstance(
@@ -73,16 +80,46 @@ class ColocatedSystem(ServingSystem):
                 tracer=tracer,
                 profiler=profiler,
                 fast_kernel=fast_kernel,
+                scheduling=scheduling,
             )
             for i in range(num_replicas)
         ]
         self._dispatcher = Dispatcher(
             dispatch_policy, load_fn=lambda inst: inst.load, rng=rng
         )
+        #: Replicas killed via fault injection.
+        self.failures = 0
 
     def submit(self, request: Request) -> None:
         state = self._register(request)
         self._dispatcher.choose(self.instances).submit(state)
+
+    def fail_replica(self, name: str) -> int:
+        """Kill a replica; re-route its requests to the survivors.
+
+        Victims whose prefill started (or that were decoding) lost
+        their KV and re-run prefill over their full current context on
+        the replica they land on.
+
+        Returns:
+            The number of requests re-routed.
+        """
+        victim = None
+        for inst in self.instances:
+            if inst.name == name:
+                victim = inst
+                break
+        if victim is None:
+            known = ", ".join(i.name for i in self.instances)
+            raise KeyError(f"no replica {name!r}; known: {known}")
+        if len(self.instances) <= 1:
+            raise RuntimeError("cannot fail the last replica")
+        lost = victim.fail()
+        self.instances.remove(victim)
+        self.failures += 1
+        for state in lost:
+            self._dispatcher.choose(self.instances).submit(state)
+        return len(lost)
 
     def num_gpus(self) -> int:
         return self.spec.num_gpus * len(self.instances)

@@ -19,6 +19,7 @@ import numpy as np
 
 from .base import ServingSystem
 from .dispatch import Dispatcher
+from ..scheduling.config import SchedulingConfig
 from ..hardware.network import NVLINK, NetworkLink
 from ..latency.comm import kv_cache_bytes
 from ..simulator.decode_instance import DecodeInstance
@@ -59,6 +60,9 @@ class DisaggregatedSystem(ServingSystem):
         fast_kernel: Enable the fast-forward simulation kernel on every
             instance (bit-identical results; tracing/profiling forces
             decode instances back to the per-step reference path).
+        scheduling: Full policy configuration (:mod:`repro.scheduling`)
+            shared by every instance; its ``dispatch_policy`` overrides
+            the legacy ``dispatch_policy`` keyword.
     """
 
     def __init__(
@@ -76,8 +80,11 @@ class DisaggregatedSystem(ServingSystem):
         tracer: "Tracer | None" = None,
         profiler: "Profiler | None" = None,
         fast_kernel: bool = True,
+        scheduling: "SchedulingConfig | None" = None,
     ) -> None:
-        super().__init__(sim, tracer=tracer, profiler=profiler)
+        super().__init__(sim, tracer=tracer, profiler=profiler, scheduling=scheduling)
+        if scheduling is not None:
+            dispatch_policy = scheduling.dispatch_policy
         if num_prefill <= 0 or num_decode <= 0:
             raise ValueError("need at least one instance of each kind")
         if transfer_mode not in ("pull", "push"):
@@ -98,7 +105,7 @@ class DisaggregatedSystem(ServingSystem):
             PrefillInstance(
                 sim, prefill_spec, on_prefill_done=self._on_prefill_done,
                 name=f"prefill-{i}", tracer=tracer, profiler=profiler,
-                fast_kernel=fast_kernel,
+                fast_kernel=fast_kernel, scheduling=scheduling,
             )
             for i in range(num_prefill)
         ]
@@ -106,7 +113,7 @@ class DisaggregatedSystem(ServingSystem):
             DecodeInstance(
                 sim, decode_spec, on_request_done=self._on_decode_done,
                 name=f"decode-{i}", tracer=tracer, profiler=profiler,
-                fast_kernel=fast_kernel,
+                fast_kernel=fast_kernel, scheduling=scheduling,
             )
             for i in range(num_decode)
         ]

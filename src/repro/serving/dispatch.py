@@ -2,8 +2,9 @@
 
 §4.3: requests are "dispatched to the prefill instance with the shortest
 queue ... followed by dispatch to the least loaded decoding instance".
-Round-robin and random policies are provided for the dispatch-policy
-ablation.
+The policy implementations live in :mod:`repro.scheduling.dispatch`;
+this module keeps the serving-layer :class:`Dispatcher` wrapper that
+adds the routing counter and metrics export.
 """
 
 from __future__ import annotations
@@ -12,13 +13,13 @@ from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
+from ..scheduling.config import DISPATCH_POLICIES
+from ..scheduling.dispatch import DispatchPolicy, make_dispatch_policy
 from ..simulator.metrics import MetricsRegistry
 
 __all__ = ["Dispatcher", "make_dispatcher", "DISPATCH_POLICIES"]
 
 T = TypeVar("T")
-
-DISPATCH_POLICIES = ("least_loaded", "round_robin", "random")
 
 
 class Dispatcher:
@@ -27,8 +28,9 @@ class Dispatcher:
     Args:
         policy: One of :data:`DISPATCH_POLICIES`.
         load_fn: Maps an instance to its current load (used by
-            ``least_loaded``; ties break by instance order).
-        rng: Required for the ``random`` policy.
+            ``least_loaded`` and ``power_of_two``; ties break by
+            instance order / first draw).
+        rng: Required for the ``random`` and ``power_of_two`` policies.
     """
 
     def __init__(
@@ -37,17 +39,13 @@ class Dispatcher:
         load_fn: "Callable[[T], float]",
         rng: "np.random.Generator | None" = None,
     ) -> None:
-        if policy not in DISPATCH_POLICIES:
-            raise ValueError(
-                f"unknown policy {policy!r}; expected one of {DISPATCH_POLICIES}"
-            )
-        if policy == "random" and rng is None:
-            raise ValueError("random dispatch requires an rng")
+        self._impl: "DispatchPolicy" = make_dispatch_policy(
+            policy, load_fn=load_fn, rng=rng
+        )
         self.policy = policy
-        self._load_fn = load_fn
-        self._rng = rng
-        self._next = 0
-        #: Routing decisions made (instrumentation).
+        #: Routing decisions made (instrumentation). Only decisions that
+        #: actually routed a request count: the empty-pool ValueError is
+        #: raised before the counter moves.
         self.dispatches = 0
 
     def instrument(self, registry: MetricsRegistry, pool: str) -> None:
@@ -63,14 +61,7 @@ class Dispatcher:
         if not instances:
             raise ValueError("no instances to dispatch to")
         self.dispatches += 1
-        if self.policy == "least_loaded":
-            return min(instances, key=self._load_fn)
-        if self.policy == "round_robin":
-            chosen = instances[self._next % len(instances)]
-            self._next += 1
-            return chosen
-        idx = int(self._rng.integers(0, len(instances)))
-        return instances[idx]
+        return self._impl.select(instances)
 
 
 def make_dispatcher(

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from .base import ServingSystem
 from .dispatch import Dispatcher
+from ..scheduling.config import SchedulingConfig
 from ..simulator.decode_instance import DecodeInstance
 from ..simulator.events import Simulation
 from ..simulator.instance import InstanceSpec
@@ -40,16 +41,20 @@ class PrefillOnlySystem(ServingSystem):
         tracer: "Tracer | None" = None,
         profiler: "Profiler | None" = None,
         fast_kernel: bool = True,
+        scheduling: "SchedulingConfig | None" = None,
     ) -> None:
-        super().__init__(sim, tracer=tracer, profiler=profiler)
+        super().__init__(sim, tracer=tracer, profiler=profiler, scheduling=scheduling)
         self.spec = spec
         self.instances = [
             PrefillInstance(
                 sim, spec, on_prefill_done=self._finish, name=f"prefill-{i}",
                 tracer=tracer, profiler=profiler, fast_kernel=fast_kernel,
+                scheduling=scheduling,
             )
             for i in range(num_instances)
         ]
+        # Phase-only engines are single-pool probes: dispatch stays
+        # least-loaded regardless of the configured cross-pool policy.
         self._dispatch = Dispatcher("least_loaded", load_fn=lambda i: i.queue_len)
 
     def _instrument_components(self, registry: MetricsRegistry) -> None:
@@ -99,13 +104,15 @@ class DecodeOnlySystem(ServingSystem):
         tracer: "Tracer | None" = None,
         profiler: "Profiler | None" = None,
         fast_kernel: bool = True,
+        scheduling: "SchedulingConfig | None" = None,
     ) -> None:
-        super().__init__(sim, tracer=tracer, profiler=profiler)
+        super().__init__(sim, tracer=tracer, profiler=profiler, scheduling=scheduling)
         self.spec = spec
         self.instances = [
             DecodeInstance(
                 sim, spec, on_request_done=self._complete, name=f"decode-{i}",
                 tracer=tracer, profiler=profiler, fast_kernel=fast_kernel,
+                scheduling=scheduling,
             )
             for i in range(num_instances)
         ]

@@ -39,6 +39,8 @@ from .tracing import NULL_TRACER, SpanKind, Tracer
 from ..latency.memo import DecodeStepTimer
 from ..latency.mixed import mixed_batch_latency
 from ..latency.parallel import decode_times, prefill_times
+from ..scheduling.config import SchedulingConfig
+from ..scheduling.queue import QueuePolicy, make_queue_policy
 
 __all__ = ["ColocatedInstance", "POLICIES"]
 
@@ -62,6 +64,10 @@ class ColocatedInstance:
         fast_kernel: Evaluate pure-decode iteration latency through the
             memoized O(1) timer (bit-identical to the reference path)
             instead of re-materializing and re-summing context lists.
+        scheduling: Policy configuration (:mod:`repro.scheduling`); the
+            queue policy orders the waiting deque before each admission
+            pass (FCFS default is a no-op). Batch shaping stays with the
+            iteration ``policy`` above — the vLLM baseline's own axis.
     """
 
     def __init__(
@@ -76,6 +82,7 @@ class ColocatedInstance:
         tracer: "Tracer | None" = None,
         profiler: "Profiler | None" = None,
         fast_kernel: bool = True,
+        scheduling: "SchedulingConfig | None" = None,
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
@@ -88,9 +95,21 @@ class ColocatedInstance:
         self._on_done = on_request_done
         self._max_prefill_tokens = max_prefill_tokens
         self._chunk_size = chunk_size
+        cfg = scheduling if scheduling is not None else SchedulingConfig()
+        self._qpolicy: QueuePolicy = make_queue_policy(
+            cfg.queue_policy,
+            sjf_aging=cfg.sjf_aging,
+            edf_default_deadline=cfg.edf_default_deadline,
+            enqueue_stamp="prefill_enqueue",
+        )
+        self._alive = True
         self._waiting: "Deque[RequestState]" = deque()
         self._running: "list[RequestState]" = []
         self._running_ids: "set[int]" = set()
+        # Prefill states inside the currently scheduled iteration: popped
+        # from _waiting but not yet moved to _running, so fail() must
+        # sweep them explicitly or they would be lost with the replica.
+        self._inflight_prefills: "list[RequestState]" = []
         self._kv: KVBlockManager = spec.make_kv_manager()
         self._coeffs = spec.latency_coeffs
         # Chunked-prefill progress: request_id -> prompt tokens prefilled.
@@ -185,11 +204,20 @@ class ColocatedInstance:
 
     # ------------------------------------------------------------------
     def _prompt_len(self, state: RequestState) -> int:
-        """Tokens to prefill: the prompt, or full context after preemption."""
-        return self._recompute_len.get(state.request_id, state.request.input_len)
+        """Tokens to prefill: the prompt, or full context after preemption.
+
+        Preemptions on *this* instance are tracked in the local map; a
+        request re-routed here after another replica failed carries its
+        recompute length on the state itself (``state.prefill_len``).
+        """
+        local = self._recompute_len.get(state.request_id)
+        if local is not None:
+            return local
+        return state.prefill_len
 
     def _try_admit_prefill(self, token_budget: int) -> "list[RequestState]":
         """Pop waiting requests into a prefill batch within the budget."""
+        self._waiting = self._qpolicy.reorder(self._waiting, self._sim.now)
         batch: "list[RequestState]" = []
         total = 0
         while self._waiting and len(self._running) + len(batch) < self.spec.max_batch_size:
@@ -205,12 +233,58 @@ class ColocatedInstance:
         return batch
 
     def _kick(self) -> None:
-        if self._iterating:
+        if self._iterating or not self._alive:
             return
         if not self._waiting and not self._running:
             return
         self._iterating = True
         self._run_iteration()
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def fail(self) -> "list[RequestState]":
+        """Kill the replica; return requests needing re-routing.
+
+        Every request on the replica is a victim: waiting ones simply
+        re-queue elsewhere, while any request whose prefill started or
+        that was decoding lost its KV cache and must re-run prefill over
+        its full current context. The dead pool's allocations are all
+        released so quiesce-time leak audits stay clean.
+        """
+        self._alive = False
+        self._iterating = False
+        victims: "list[RequestState]" = []
+        seen: "set[int]" = set()
+        for state in (
+            list(self._waiting)
+            + self._inflight_prefills
+            + list(self._running)
+        ):
+            if state.request_id in seen:
+                continue
+            seen.add(state.request_id)
+            victims.append(state)
+            local = self._recompute_len.get(state.request_id)
+            if local is not None:
+                state.recompute_len = local
+            elif (
+                state.generated > 0
+                or self._chunk_progress.get(state.request_id, 0) > 0
+            ):
+                state.recompute_len = state.context_len
+        self._waiting.clear()
+        self._running.clear()
+        self._running_ids.clear()
+        self._inflight_prefills = []
+        self._chunk_progress.clear()
+        self._recompute_len.clear()
+        self._running_context_tokens = 0
+        for request_id in self._kv.holders():
+            self._kv.free(request_id)
+        return victims
 
     def _run_iteration(self) -> None:
         if self.policy == "prefill_priority":
@@ -255,6 +329,7 @@ class ColocatedInstance:
                     batch_size=len(batch),
                 )
             step_start = self._sim.now
+            self._inflight_prefills = list(batch)
             self._sim.schedule(
                 duration,
                 lambda: self._finish_prefill(batch, step_start, batch_tokens),
@@ -345,6 +420,7 @@ class ColocatedInstance:
                     batch_size=len(batch),
                 )
             step_start = self._sim.now
+            self._inflight_prefills = list(batch)
             self._sim.schedule(
                 duration,
                 lambda: self._finish_prefill(batch, step_start, batch_tokens),
@@ -358,6 +434,9 @@ class ColocatedInstance:
         step_start: float = 0.0,
         batch_tokens: int = 0,
     ) -> None:
+        if not self._alive:
+            return  # the replica died mid-iteration; victims re-routed
+        self._inflight_prefills = []
         if self._prof.enabled:
             self._prof.record_exec(
                 self.name, "prefill", step_start, self._sim.now,
@@ -366,6 +445,7 @@ class ColocatedInstance:
         for state in batch:
             was_preempted = state.request_id in self._recompute_len
             self._recompute_len.pop(state.request_id, None)
+            state.recompute_len = None
             state.stamp("prefill_end", self._sim.now)
             self._trace.end(state.request_id, SpanKind.PREFILL_EXEC, self._sim.now)
             if not was_preempted and state.generated == 0:
@@ -394,6 +474,8 @@ class ColocatedInstance:
     def _finish_decode(
         self, batch: "list[RequestState]", step_start: float = 0.0
     ) -> None:
+        if not self._alive:
+            return  # the replica died mid-iteration; victims re-routed
         step_tokens = self._advance_decodes(batch, step_start)
         if self._prof.enabled:
             self._prof.record_exec(
@@ -465,6 +547,7 @@ class ColocatedInstance:
     # ------------------------------------------------------------------
     def _iteration_mixed(self, token_budget: int, combined: bool) -> None:
         """One Orca/SARATHI iteration: decode batch plus prompt (chunks)."""
+        self._waiting = self._qpolicy.reorder(self._waiting, self._sim.now)
         contexts = [s.context_len for s in self._running]
         budget = token_budget if not combined else self._max_prefill_tokens
         chunk_lens: "list[int]" = []
@@ -522,6 +605,7 @@ class ColocatedInstance:
         ]
         step_start = self._sim.now
         mixed_batch_size = len(decode_snapshot) + len(chunk_lens)
+        self._inflight_prefills = list(chunk_owners)
         self._sim.schedule(
             duration,
             lambda: self._finish_mixed(
@@ -537,10 +621,14 @@ class ColocatedInstance:
         prefill_tokens: int = 0,
         batch_size: int = 0,
     ) -> None:
+        if not self._alive:
+            return  # the replica died mid-iteration; victims re-routed
+        self._inflight_prefills = []
         for state in prefilled:
             was_preempted = state.request_id in self._recompute_len
             self._recompute_len.pop(state.request_id, None)
             self._chunk_progress.pop(state.request_id, None)
+            state.recompute_len = None
             state.stamp("prefill_end", self._sim.now)
             self._trace.end(state.request_id, SpanKind.PREFILL_EXEC, self._sim.now)
             if not was_preempted and state.generated == 0:

@@ -48,6 +48,9 @@ from .request import RequestPhase, RequestState
 from .tracing import NULL_TRACER, SpanKind, Tracer
 from ..latency.memo import DecodeStepTimer
 from ..latency.parallel import decode_times
+from ..scheduling.batch import BatchPolicy, make_batch_policy
+from ..scheduling.config import SchedulingConfig
+from ..scheduling.queue import QueuePolicy, make_queue_policy
 
 __all__ = ["DecodeInstance"]
 
@@ -71,6 +74,10 @@ class DecodeInstance:
         fast_kernel: Allow macro-stepped runs when per-step observability
             is off. Results are bit-identical either way; disabling
             forces the one-event-per-step reference path.
+        scheduling: Policy configuration (:mod:`repro.scheduling`); the
+            queue policy orders the waiting deque before admission and
+            the batch policy gates the ``max_batch_size`` cap. Defaults
+            reproduce FCFS + plain capping exactly.
     """
 
     def __init__(
@@ -83,12 +90,21 @@ class DecodeInstance:
         tracer: "Tracer | None" = None,
         profiler: "Profiler | None" = None,
         fast_kernel: bool = True,
+        scheduling: "SchedulingConfig | None" = None,
     ) -> None:
         self._sim = sim
         self.spec = spec
         self.name = name
         self._on_done = on_request_done
         self._reserve_full = reserve_full_context
+        cfg = scheduling if scheduling is not None else SchedulingConfig()
+        self._qpolicy: QueuePolicy = make_queue_policy(
+            cfg.queue_policy,
+            sjf_aging=cfg.sjf_aging,
+            edf_default_deadline=cfg.edf_default_deadline,
+            enqueue_stamp="decode_enqueue",
+        )
+        self._bpolicy: BatchPolicy = make_batch_policy(cfg.batch_policy)
         self._waiting: "Deque[RequestState]" = deque()
         self._active: "list[RequestState]" = []
         self._active_ids: "set[int]" = set()
@@ -289,7 +305,10 @@ class DecodeInstance:
 
     # ------------------------------------------------------------------
     def _admit(self) -> None:
-        while self._waiting and len(self._active) < self.spec.max_batch_size:
+        self._waiting = self._qpolicy.reorder(self._waiting, self._sim.now)
+        while self._waiting and self._bpolicy.admit_decode(
+            len(self._active), self.spec.max_batch_size
+        ):
             head = self._waiting[0]
             need = self._reservation_tokens(head)
             if not self._kv.can_allocate(need):
@@ -600,6 +619,11 @@ class DecodeInstance:
         self._waiting.clear()
         self._active_context_tokens = 0
         self._stepping = False
+        self._bpolicy.reset()
+        # The pool dies with the instance: release any remaining
+        # allocations so quiesce-time leak audits stay clean.
+        for request_id in self._kv.holders():
+            self._kv.free(request_id)
         return victims
 
     def _preempt_youngest(self) -> None:

@@ -35,6 +35,9 @@ from .tracing import NULL_TRACER, SpanKind, Tracer
 from ..latency.memo import PrefillBatchTimer
 from ..latency.parallel import prefill_times
 from ..latency.prefill import saturation_length
+from ..scheduling.batch import BatchPolicy, PrefillChunk, make_batch_policy
+from ..scheduling.config import SchedulingConfig
+from ..scheduling.queue import QueuePolicy, make_queue_policy
 
 __all__ = ["PrefillInstance"]
 
@@ -50,9 +53,10 @@ class PrefillInstance:
             then arranges the KV pull.
         batch_token_limit: Override for the batch-shaping threshold
             ``L_m`` (defaults to the profiled saturation length).
-        queue_policy: ``"fcfs"`` (paper default) or ``"sjf"``
+        queue_policy: ``"fcfs"`` (paper default), ``"sjf"``
             (shortest-prompt-first with aging — the convoy-effect
-            mitigation the paper defers to future work).
+            mitigation the paper defers to future work), or ``"edf"``
+            (earliest deadline first).
         sjf_aging: Seconds of queue wait equivalent to one prompt token
             when ranking under ``"sjf"``; higher values age waiting
             requests toward the front faster, bounding starvation.
@@ -63,6 +67,10 @@ class PrefillInstance:
         fast_kernel: Evaluate batch latency through the memoized
             :class:`PrefillBatchTimer` (bit-identical to the reference
             path, validation hoisted out of the scheduling loop).
+        scheduling: Full policy configuration (:mod:`repro.scheduling`);
+            when given, its queue/batch policies and knobs override the
+            legacy ``queue_policy`` / ``sjf_aging`` /
+            ``batch_token_limit`` keywords.
     """
 
     def __init__(
@@ -77,19 +85,28 @@ class PrefillInstance:
         tracer: "Tracer | None" = None,
         profiler: "Profiler | None" = None,
         fast_kernel: bool = True,
+        scheduling: "SchedulingConfig | None" = None,
     ) -> None:
-        if queue_policy not in ("fcfs", "sjf"):
-            raise ValueError(
-                f"unknown queue_policy {queue_policy!r}; expected 'fcfs' or 'sjf'"
-            )
-        if sjf_aging < 0:
-            raise ValueError(f"sjf_aging must be >= 0, got {sjf_aging}")
+        batch_policy = "token_budget"
+        edf_default_deadline = 10.0
+        if scheduling is not None:
+            queue_policy = scheduling.queue_policy
+            batch_policy = scheduling.batch_policy
+            sjf_aging = scheduling.sjf_aging
+            edf_default_deadline = scheduling.edf_default_deadline
+            if scheduling.batch_token_limit is not None:
+                batch_token_limit = scheduling.batch_token_limit
         self._sim = sim
         self.spec = spec
         self.name = name
         self._on_done = on_prefill_done
-        self._policy = queue_policy
-        self._aging = sjf_aging
+        self._qpolicy: QueuePolicy = make_queue_policy(
+            queue_policy,
+            sjf_aging=sjf_aging,
+            edf_default_deadline=edf_default_deadline,
+            enqueue_stamp="prefill_enqueue",
+        )
+        self._bpolicy: BatchPolicy = make_batch_policy(batch_policy)
         self._queue: "Deque[RequestState]" = deque()
         self._kv: KVBlockManager = spec.make_kv_manager()
         self._coeffs = spec.latency_coeffs
@@ -196,13 +213,27 @@ class PrefillInstance:
         (partial) KV caches on this instance are lost, so in-flight ones
         must re-run their prefill elsewhere. KV parked for completed
         requests is also lost — the orchestration layer handles those via
-        its pending-pull bookkeeping.
+        its pending-pull bookkeeping. Every allocation in the dead
+        instance's pool is released (the memory is gone with the
+        instance), so sanitizer quiesce-time leak audits stay clean on
+        fault-injection runs.
         """
         self._alive = False
-        victims = list(self._queue) + list(self._in_flight_states.values())
+        victims: "list[RequestState]" = []
+        seen: "set[int]" = set()
+        # Under chunked shaping a mid-prefill request sits both at the
+        # queue head and in the in-flight map — dedupe by request id.
+        for state in list(self._queue) + list(self._in_flight_states.values()):
+            if state.request_id in seen:
+                continue
+            seen.add(state.request_id)
+            victims.append(state)
         self._queue.clear()
         self._in_flight_states.clear()
         self._in_flight = 0
+        self._bpolicy.reset()
+        for request_id in self._kv.holders():
+            self._kv.free(request_id)
         return victims
 
     def release_kv(self, request_id: int) -> None:
@@ -218,38 +249,15 @@ class PrefillInstance:
         delay = max(0.0, self._next_admit_time - self._sim.now)
         self._sim.schedule(delay, self._try_schedule)
 
-    def _reorder_sjf(self) -> None:
-        """Rank the queue shortest-prompt-first with wait-time aging.
+    def _form_batch(self) -> "list[PrefillChunk]":
+        """Reorder the queue, then shape a batch within the L_m budget.
 
-        Effective rank = prompt length - aging * wait; a long prompt that
-        has waited ``input_len / aging`` seconds outranks a fresh short
-        one, bounding starvation.
+        Both decisions are delegated to the configured scheduling
+        policies (:mod:`repro.scheduling`); the defaults reproduce the
+        paper's FCFS + token-budget recipe operation for operation.
         """
-        now = self._sim.now
-        ordered = sorted(
-            self._queue,
-            key=lambda s: s.prefill_len
-            - self._aging * (now - s.timestamps.get("prefill_enqueue", now)),
-        )
-        self._queue = deque(ordered)
-
-    def _form_batch(self) -> "list[RequestState]":
-        """Pop a prefix of the queue respecting the L_m token budget."""
-        if self._policy == "sjf" and len(self._queue) > 1:
-            self._reorder_sjf()
-        batch: "list[RequestState]" = []
-        total = 0
-        while self._queue:
-            head = self._queue[0]
-            need = head.prefill_len
-            if batch and total + need > self._limit:
-                break
-            if not self._kv.can_allocate(need):
-                break
-            self._kv.allocate(head.request_id, need)
-            batch.append(self._queue.popleft())
-            total += need
-        return batch
+        self._queue = self._qpolicy.reorder(self._queue, self._sim.now)
+        return self._bpolicy.form_prefill(self._queue, self._kv, self._limit)
 
     def _try_schedule(self) -> None:
         self._scheduler_armed = False
@@ -265,13 +273,13 @@ class PrefillInstance:
         if self._fast:
             batch_tokens = 0
             squared = 0
-            for state in batch:
-                length = state.prefill_len
+            for entry in batch:
+                length = entry.tokens
                 batch_tokens += length
                 squared += length * length
             base_request, base_stage = self._timer.times(batch_tokens, float(squared))
         else:
-            lens = [s.prefill_len for s in batch]
+            lens = [e.tokens for e in batch]
             ref = prefill_times(
                 self.spec.model,
                 self.spec.config,
@@ -294,17 +302,19 @@ class PrefillInstance:
         self.batches_executed += 1
         self.busy_time += stage_time
         self.tokens_prefilled += batch_tokens
-        for state in batch:
+        for entry in batch:
+            state = entry.state
             state.phase = RequestPhase.PREFILLING
             state.stamp("prefill_start", start)
-            self._trace.end(state.request_id, SpanKind.PREFILL_QUEUE, start)
-            self._trace.begin(
-                state.request_id,
-                SpanKind.PREFILL_EXEC,
-                start,
-                self.name,
-                batch_size=len(batch),
-            )
+            if entry.first:
+                self._trace.end(state.request_id, SpanKind.PREFILL_QUEUE, start)
+                self._trace.begin(
+                    state.request_id,
+                    SpanKind.PREFILL_EXEC,
+                    start,
+                    self.name,
+                    batch_size=len(batch),
+                )
             self._in_flight_states[state.request_id] = state
         assert request_latency >= 0.0  # latency model + jitter are nonnegative
         finish = start + request_latency
@@ -318,8 +328,13 @@ class PrefillInstance:
                     self.name, "prefill", start, self._sim.now,
                     len(batch), batch_tokens,
                 )
-            for state in batch:
+            for entry in batch:
+                state = entry.state
                 self._in_flight_states.pop(state.request_id, None)
+                if not entry.final:
+                    # Chunked prefill: the prompt's tail runs in a later
+                    # batch; finalization waits for the final chunk.
+                    continue
                 state.stamp("prefill_end", self._sim.now)
                 self._trace.end(
                     state.request_id, SpanKind.PREFILL_EXEC, self._sim.now
